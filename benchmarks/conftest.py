@@ -1,0 +1,56 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Each benchmark module regenerates one table or figure from the paper's
+evaluation (Sections 4.4 and 5).  Besides the pytest-benchmark timing, the
+reproduced series are printed and written to ``benchmarks/results/`` so
+runs can be diffed and transcribed into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figures import FigureRun
+from repro.experiments.reporting import format_table, write_csv
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_figure(run: FigureRun, note: str = "") -> str:
+    """Print and persist a figure run's series; return the text report."""
+    lines = [f"=== Paper figure/table {run.figure} ==="]
+    if note:
+        lines.append(note)
+    for name, data in sorted(run.series.items()):
+        rows = [[x, y] for x, y in data.items()]
+        lines.append(f"-- {name}")
+        lines.append(format_table(["x", "value"], rows))
+    if run.extras:
+        lines.append("-- extras")
+        lines.append(
+            format_table(
+                ["key", "value"], [[k, v] for k, v in sorted(run.extras.items())]
+            )
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    safe = run.figure.replace(".", "_")
+    (RESULTS_DIR / f"figure_{safe}.txt").write_text(text + "\n")
+    csv_rows = [
+        [series, x, y]
+        for series, data in sorted(run.series.items())
+        for x, y in data.items()
+    ]
+    write_csv(
+        RESULTS_DIR / f"figure_{safe}.csv", ["series", "x", "value"], csv_rows
+    )
+    return text
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,115 @@
+"""Micro-benchmarks of the engine substrate (multi-round timings).
+
+These are classic pytest-benchmark timings (not paper figures): group-by
+aggregation throughput, star-join resolution, predicate evaluation, the
+small-group rewrite overhead, and pre-processing.  They guard the cost
+model the speedup experiments rely on (time ∝ rows scanned).
+"""
+
+import pytest
+
+from repro.core.smallgroup import SmallGroupConfig, SmallGroupSampling
+from repro.datagen.tpch import generate_tpch
+from repro.engine.executor import aggregate_table, execute
+from repro.engine.expressions import AggFunc, AggregateSpec, InSet, Query
+from repro.sql import parse_query
+
+COUNT = AggregateSpec(AggFunc.COUNT, alias="cnt")
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_tpch(scale=1.0, z=1.5, rows_per_scale=60000, seed=30)
+
+
+@pytest.fixture(scope="module")
+def view(db):
+    return db.joined_view()
+
+
+@pytest.fixture(scope="module")
+def sg(db):
+    technique = SmallGroupSampling(
+        SmallGroupConfig(base_rate=0.04, use_reservoir=False)
+    )
+    technique.preprocess(db)
+    return technique
+
+
+def test_groupby_count_throughput(benchmark, view):
+    query = Query("lineitem", (COUNT,), ("l_shipmode", "l_returnflag"))
+    result = benchmark(aggregate_table, view, query)
+    assert result.total() == view.n_rows
+
+
+def test_groupby_sum_with_predicate(benchmark, view):
+    query = Query(
+        "lineitem",
+        (AggregateSpec(AggFunc.SUM, "l_extendedprice", alias="s"),),
+        ("p_brand",),
+        where=InSet("s_region", ["s_region_000", "s_region_001"]),
+    )
+    result = benchmark(aggregate_table, view, query)
+    assert result.n_groups > 0
+
+
+def test_star_join_execution(benchmark, db):
+    query = Query(
+        "lineitem", (COUNT,), ("p_brand", "o_custnation")
+    )
+    result = benchmark(execute, db, query)
+    assert result.total() == db.fact_table.n_rows
+
+
+def test_smallgroup_answer_latency(benchmark, sg):
+    query = Query("lineitem", (COUNT,), ("l_shipmode", "p_brand"))
+    answer = benchmark(sg.answer, query)
+    assert answer.n_groups > 0
+
+
+def test_sql_parse_throughput(benchmark):
+    sql = (
+        "SELECT p_brand, l_shipmode, COUNT(*) AS cnt FROM lineitem "
+        "WHERE s_nation IN ('s_nation_000', 's_nation_001') "
+        "AND l_quantity BETWEEN 1 AND 10 GROUP BY p_brand, l_shipmode"
+    )
+    query = benchmark(parse_query, sql)
+    assert query.group_by == ("p_brand", "l_shipmode")
+
+
+def test_preprocessing_latency(benchmark, db):
+    def build():
+        technique = SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.01, use_reservoir=False)
+        )
+        technique.preprocess(db)
+        return technique
+
+    technique = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert technique.metadata()
+
+
+def test_table_save_load_roundtrip(benchmark, sg, tmp_path_factory):
+    from repro.storage import load_table, save_table
+
+    table = sg.sample_catalog().table("sg_overall")
+    directory = tmp_path_factory.mktemp("bench_storage")
+
+    def roundtrip():
+        path = save_table(table, directory / "overall.npz")
+        return load_table(path)
+
+    loaded = benchmark(roundtrip)
+    assert loaded.n_rows == table.n_rows
+
+
+def test_middleware_sql_latency(benchmark, db, sg):
+    from repro.middleware import AQPSession
+
+    session = AQPSession(db, sg)
+    sql = (
+        "SELECT l_shipmode, p_brand, COUNT(*) AS cnt FROM lineitem "
+        "GROUP BY l_shipmode, p_brand"
+    )
+    result = benchmark(session.sql, sql)
+    assert result.approx is not None and result.approx.n_groups > 0

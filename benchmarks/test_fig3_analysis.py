@@ -1,0 +1,89 @@
+"""Figure 3 (a, b): the analytical model of Section 4.4.
+
+Paper shapes to reproduce:
+
+* 3(a) — SqRelErr vs sampling allocation ratio γ: small group sampling
+  dips below the γ=0 (uniform) level, with a shallow basin over
+  γ ∈ [0.25, 1.0]; "the exact choice of the sampling allocation ratio is
+  not critical".
+* 3(b) — SqRelErr vs skew z on a log scale: uniform is slightly better
+  for near-uniform data; small group sampling is clearly superior at
+  moderate-to-high skew.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_figure
+from repro.experiments.figures import run_figure3a, run_figure3b
+from repro.experiments.reporting import ascii_chart
+
+
+def test_fig3a_allocation_ratio(benchmark):
+    run = benchmark.pedantic(run_figure3a, rounds=1, iterations=1)
+    record_figure(run, note="g=2, sigma=0.1, c=50, z=1.8 (Theorem 4.1)")
+    series = run.series["small_group/sq_rel_err"]
+    gammas = np.array(sorted(series))
+    errors = np.array([series[g] for g in gammas])
+    uniform = run.extras["uniform"]
+    print(
+        ascii_chart(
+            [f"{g:.1f}" for g in gammas[::4]],
+            {"small_group": errors[::4].tolist()},
+            title="Fig 3a: SqRelErr vs allocation ratio",
+        )
+    )
+    # Shape assertions: gamma=0 equals uniform; basin below uniform.
+    assert errors[0] == uniform
+    best = errors.min()
+    assert best < 0.85 * uniform
+    basin = errors[(gammas >= 0.25) & (gammas <= 1.0)]
+    assert basin.max() < uniform  # whole basin beats uniform
+    assert basin.max() < 1.35 * best  # ... and is flat (choice not critical)
+
+    # Cross-check the closed form against the Monte Carlo simulator at
+    # gamma = 0 (Equation 1's setting, where cells and model coincide).
+    from repro.analysis.model import AnalysisScenario
+    from repro.analysis.simulation import simulate_uniform_sq_rel_err
+
+    dense = AnalysisScenario(
+        n_group_columns=2,
+        selectivity=1.0,
+        n_distinct=8,
+        z=1.0,
+        database_rows=1_000_000,
+        budget_fraction=0.01,
+    )
+    from repro.analysis.model import expected_sq_rel_err_uniform
+
+    sim = simulate_uniform_sq_rel_err(dense, trials=200, rng=0)
+    predicted = expected_sq_rel_err_uniform(dense)
+    print(
+        f"model cross-check: closed form {predicted:.4g}, "
+        f"simulated {sim.mean:.4g} ± {sim.std_error:.2g}"
+    )
+    assert abs(sim.mean - predicted) < 0.1 * predicted
+
+
+def test_fig3b_skew(benchmark):
+    run = benchmark.pedantic(run_figure3b, rounds=1, iterations=1)
+    record_figure(run, note="g=3, sigma=0.3, c=50, gamma=0.5 (Theorem 4.1)")
+    sg = run.series["small_group/sq_rel_err"]
+    uni = run.series["uniform/sq_rel_err"]
+    zs = sorted(sg)
+    print(
+        ascii_chart(
+            [f"{z:.1f}" for z in zs],
+            {
+                "small_group": [sg[z] for z in zs],
+                "uniform": [uni[z] for z in zs],
+            },
+            log_y=True,
+            title="Fig 3b: SqRelErr vs skew (log scale)",
+        )
+    )
+    # Uniform slightly preferable at z=1.0; small group wins at high skew.
+    assert uni[zs[0]] < sg[zs[0]]
+    assert sg[zs[-1]] < uni[zs[-1]] / 10
+    # One crossover in between.
+    signs = np.sign([sg[z] - uni[z] for z in zs])
+    assert np.count_nonzero(np.diff(signs)) == 1

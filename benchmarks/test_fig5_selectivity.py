@@ -1,0 +1,67 @@
+"""Figure 5 + §5.3.1 text: error vs per-group selectivity.
+
+Paper shapes to reproduce: on SALES, small group sampling is consistently
+better than uniform over the whole selectivity range (Figure 5); accuracy
+improves for both methods as per-group selectivity grows; on TPCH1G2.0z
+the same experiment shows a large gap in the mid-selectivity bins (the
+text quotes RelErr 0.17 vs 1.23 at 0.16%).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record_figure
+from repro.experiments.figures import run_figure5
+from repro.experiments.reporting import ascii_chart
+
+
+def _ordered_bins(series: dict) -> list:
+    return sorted(series, key=lambda label: (label.startswith(">"), label))
+
+
+def test_fig5_sales_selectivity(benchmark):
+    run = benchmark.pedantic(
+        run_figure5, kwargs={"queries_per_combo": 14}, rounds=1, iterations=1
+    )
+    record_figure(run, note="SALES, COUNT queries, per-group selectivity bins")
+    sg = run.series["small_group/rel_err"]
+    uni = run.series["uniform/rel_err"]
+    bins = _ordered_bins(sg)
+    shared = [b for b in bins if b in uni]
+    print(
+        ascii_chart(
+            shared,
+            {
+                "small_group": [sg[b] for b in shared],
+                "uniform": [uni[b] for b in shared],
+            },
+            title="Fig 5: RelErr vs per-group selectivity (SALES)",
+        )
+    )
+    # Small group at least matches uniform in (almost) every bin and is
+    # strictly better on average.
+    wins = sum(sg[b] <= uni[b] * 1.05 for b in shared)
+    assert wins >= len(shared) - 1
+    assert np.mean([sg[b] for b in shared]) < np.mean(
+        [uni[b] for b in shared]
+    )
+    # Accuracy improves with selectivity: last bin much better than first.
+    assert sg[shared[-1]] < sg[shared[0]]
+    assert uni[shared[-1]] < uni[shared[0]]
+
+
+def test_fig5_tpch_variant(benchmark):
+    run = benchmark.pedantic(
+        run_figure5,
+        kwargs={"database": "tpch", "queries_per_combo": 12},
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(
+        run, note="TPCH1G2.0z variant (the experiment described in §5.3.1)"
+    )
+    sg = run.series["small_group/rel_err"]
+    uni = run.series["uniform/rel_err"]
+    shared = [b for b in _ordered_bins(sg) if b in uni]
+    mid = [b for b in shared[1:-1]]
+    # The mid-selectivity gap the paper quotes: small group clearly ahead.
+    assert np.mean([sg[b] for b in mid]) < np.mean([uni[b] for b in mid])

@@ -1,0 +1,42 @@
+"""Figure 6: RelErr vs data skew on the TPCH1Gyz family.
+
+Paper shapes to reproduce: "uniform sampling slightly outperforms small
+group sampling at low skew, while small group sampling does significantly
+better at moderate to high skew"; the win region includes the 90-10 /
+80-20 range z ∈ [1.5, 2.0].  Uniform's accuracy recovers somewhat at very
+high skew (predicates filter out most rare values, leaving large groups).
+"""
+
+from benchmarks.conftest import record_figure
+from repro.experiments.figures import run_figure6
+from repro.experiments.reporting import ascii_chart
+
+
+def test_fig6_skew_sweep(benchmark):
+    run = benchmark.pedantic(
+        run_figure6, kwargs={"queries_per_combo": 10}, rounds=1, iterations=1
+    )
+    record_figure(run, note="TPCH1Gyz for z in {1.0, 1.5, 2.0, 2.5}")
+    sg = run.series["small_group/rel_err"]
+    uni = run.series["uniform/rel_err"]
+    zs = sorted(sg)
+    print(
+        ascii_chart(
+            zs,
+            {
+                "small_group": [sg[z] for z in zs],
+                "uniform": [uni[z] for z in zs],
+            },
+            title="Fig 6: RelErr vs skew z",
+        )
+    )
+    # Low skew: uniform at least competitive (within noise).
+    assert uni[1.0] <= sg[1.0] * 1.10
+    # Moderate-to-high skew (the 90-10 / 80-20 regime): small group wins.
+    assert sg[1.5] < uni[1.5]
+    assert sg[2.0] < uni[2.0]
+    # PctGroups trends match RelErr trends.
+    sg_pct = run.series["small_group/pct_groups"]
+    uni_pct = run.series["uniform/pct_groups"]
+    assert sg_pct[1.5] < uni_pct[1.5]
+    assert sg_pct[2.0] < uni_pct[2.0]

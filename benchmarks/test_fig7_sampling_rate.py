@@ -1,0 +1,46 @@
+"""Figure 7: error vs base sampling rate on TPCH1G2.0z.
+
+Paper shapes to reproduce: "both RelErr and PctGroups for small group
+sampling and uniform random sampling degrade smoothly as the sampling
+rate is decreased", with small group sampling "consistently better ...
+for all sampling rates".  (The paper sweeps 0.25%–4% of a 6M-row table;
+we sweep the same factor-of-16 range around our scaled base rate.)
+"""
+
+from benchmarks.conftest import record_figure
+from repro.experiments.figures import run_figure7
+from repro.experiments.reporting import ascii_chart
+
+
+def test_fig7_rate_sweep(benchmark):
+    run = benchmark.pedantic(
+        run_figure7, kwargs={"queries_per_combo": 10}, rounds=1, iterations=1
+    )
+    record_figure(run, note="TPCH1G2.0z, rates on a log scale")
+    sg = run.series["small_group/rel_err"]
+    uni = run.series["uniform/rel_err"]
+    rates = sorted(sg)
+    print(
+        ascii_chart(
+            [f"{r:.2%}" for r in rates],
+            {
+                "small_group": [sg[r] for r in rates],
+                "uniform": [uni[r] for r in rates],
+            },
+            title="Fig 7: RelErr vs base sampling rate",
+        )
+    )
+    # Small group better at every rate, on both metrics.
+    sg_pct = run.series["small_group/pct_groups"]
+    uni_pct = run.series["uniform/pct_groups"]
+    for r in rates:
+        assert sg[r] < uni[r]
+        assert sg_pct[r] < uni_pct[r]
+    # Smooth degradation: error at the smallest rate is (within sampling
+    # noise) the worst, at the largest rate the best, and the overall
+    # trend is strongly decreasing, for both techniques and both metrics.
+    for series in (sg, uni, sg_pct, uni_pct):
+        values = [series[r] for r in rates]
+        assert values[0] >= 0.95 * max(values)
+        assert values[-1] == min(values)
+        assert values[-1] < 0.6 * values[0]

@@ -1,0 +1,50 @@
+"""Figure 9 + §5.4.1: query processing speedup over exact execution.
+
+Paper shapes to reproduce (TPCH5G1.5z): all AQP methods are an order of
+magnitude faster than exact execution; uniform sampling is slightly
+faster than small group sampling (9.49x vs 11.53x in the paper); the
+small group speedup *decreases* as the number of grouping columns grows,
+because more small group tables are consulted, while remaining clearly
+worthwhile at 4 grouping columns.
+"""
+
+from benchmarks.conftest import record_figure
+from repro.experiments.figures import run_figure9
+from repro.experiments.reporting import ascii_chart, format_table
+
+
+def test_fig9_speedup_by_group_columns(benchmark):
+    run = benchmark.pedantic(
+        run_figure9, kwargs={"queries_per_combo": 5}, rounds=1, iterations=1
+    )
+    record_figure(run, note="TPCH5G1.5z (scaled), wall-clock speedups")
+    speedups = run.series["small_group/speedup"]
+    gs = sorted(speedups)
+    print(
+        ascii_chart(
+            gs,
+            {"small_group": [speedups[g] for g in gs]},
+            title="Fig 9: speedup vs #grouping columns",
+        )
+    )
+    print(
+        format_table(
+            ["technique", "overall speedup"],
+            [
+                ["small_group", run.extras["overall_speedup/small_group"]],
+                ["uniform", run.extras["overall_speedup/uniform"]],
+            ],
+        )
+    )
+    # Order-of-magnitude speedups for both techniques.
+    assert run.extras["overall_speedup/small_group"] > 4
+    assert run.extras["overall_speedup/uniform"] > 4
+    # Uniform is at least as fast as small group (it scans fewer tables).
+    assert (
+        run.extras["overall_speedup/uniform"]
+        >= 0.9 * run.extras["overall_speedup/small_group"]
+    )
+    # The speedup declines as grouping columns (and thus small group
+    # tables consulted) increase, while staying worthwhile at g=4.
+    assert speedups[4] < speedups[1]
+    assert speedups[4] > 2

@@ -1,0 +1,55 @@
+"""§5.4.2: pre-processing time and space for every technique.
+
+Paper shapes to reproduce: small group sampling consumes the most sample
+space (multiple sample tables) but the overhead stays a modest fraction
+of the database and shrinks roughly proportionally with the base rate
+(1% → 0.25% took TPC-H overhead from ~6% to ~1.8%); uniform sampling and
+outlier indexing pre-process fastest; small group sampling and basic
+congress are slower but "not exorbitant".
+"""
+
+from benchmarks.conftest import record_figure
+from repro.experiments.figures import run_table_preprocessing
+from repro.experiments.reporting import format_table
+
+
+def test_preprocessing_cost_table(benchmark):
+    run = benchmark.pedantic(run_table_preprocessing, rounds=1, iterations=1)
+    record_figure(run, note="pre-processing wall time and space overheads")
+    keys = sorted(run.series["small_group/space_overhead"])
+    rows = []
+    for technique in ("small_group", "uniform", "basic_congress", "outlier_index"):
+        for key in keys:
+            rows.append(
+                [
+                    technique,
+                    key,
+                    run.series[f"{technique}/time_s"][key],
+                    run.series[f"{technique}/space_overhead"][key],
+                ]
+            )
+    print(format_table(["technique", "db@rate", "time_s", "space_overhead"], rows))
+
+    space = {t: run.series[f"{t}/space_overhead"] for t in
+             ("small_group", "uniform", "basic_congress", "outlier_index")}
+    time_s = {t: run.series[f"{t}/time_s"] for t in
+              ("small_group", "uniform", "basic_congress", "outlier_index")}
+    for key in keys:
+        # Small group uses the most space; uniform/congress the least.
+        assert space["small_group"][key] > space["uniform"][key]
+        assert space["small_group"][key] > space["outlier_index"][key]
+        # Overhead is a fraction of the database, not a multiple.
+        assert space["small_group"][key] < 1.0
+    # Reducing the base rate shrinks the overhead substantially (the
+    # paper's 6% -> 1.8% effect); keys pair up as db@high_rate/db@low_rate.
+    for db in ("TPCH1G2.0z", "SALES"):
+        pair = sorted(
+            (k for k in keys if k.startswith(db)),
+            key=lambda k: float(k.split("@")[1]),
+        )
+        assert space["small_group"][pair[0]] < 0.5 * space["small_group"][pair[1]]
+    # Uniform pre-processing is fastest; small group and congress slower
+    # but within two orders of magnitude ("not exorbitant").
+    for key in keys:
+        assert time_s["uniform"][key] <= time_s["small_group"][key] * 1.5
+        assert time_s["small_group"][key] < time_s["uniform"][key] * 150

@@ -1,0 +1,94 @@
+"""Skew study: when does biased sampling beat uniform sampling?
+
+Reproduces the paper's central claim interactively: sweeps the Zipf skew
+parameter of a TPC-H-style database and shows the analytical prediction
+(Theorem 4.1) side by side with measured errors, including the crossover
+where small group sampling starts to win.
+
+Run:  python examples/skew_study.py
+"""
+
+import numpy as np
+
+from repro import (
+    AnalysisScenario,
+    expected_sq_rel_err_small_group,
+    expected_sq_rel_err_uniform,
+    generate_tpch,
+)
+from repro.experiments.figures import _count_workload, _sg_vs_uniform
+from repro.experiments.reporting import ascii_chart, format_table
+
+SKEWS = (1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.5)
+
+
+def analytical_sweep():
+    rows = []
+    for z in SKEWS:
+        scenario = AnalysisScenario(
+            n_group_columns=2, selectivity=0.3, n_distinct=50, z=z
+        )
+        uniform = expected_sq_rel_err_uniform(scenario)
+        small = expected_sq_rel_err_small_group(scenario, 0.5)
+        rows.append([z, small, uniform, "small_group" if small < uniform else "uniform"])
+    return rows
+
+
+def measured_sweep():
+    rows = []
+    sg_series, uni_series = [], []
+    for z in SKEWS:
+        db = generate_tpch(scale=1.0, z=z, rows_per_scale=30000, seed=3)
+        workload = _count_workload(db, queries_per_combo=4, seed=3)
+        result = _sg_vs_uniform(db, workload)
+        sg = result.mean_metric("small_group", "rel_err")
+        uni = result.mean_metric("uniform", "rel_err")
+        sg_series.append(sg)
+        uni_series.append(uni)
+        rows.append([z, sg, uni, "small_group" if sg < uni else "uniform"])
+    return rows, sg_series, uni_series
+
+
+def main() -> None:
+    print("Theorem 4.1 prediction (g=2, sigma=0.3, c=50, gamma=0.5):")
+    analytic = analytical_sweep()
+    print(
+        format_table(
+            ["z", "E[SqRelErr] small group", "E[SqRelErr] uniform", "winner"],
+            analytic,
+        )
+    )
+
+    print("\nMeasured on TPCH1Gyz (COUNT workload, matched sample space):")
+    measured, sg_series, uni_series = measured_sweep()
+    print(
+        format_table(
+            ["z", "RelErr small group", "RelErr uniform", "winner"], measured
+        )
+    )
+    print()
+    print(
+        ascii_chart(
+            [f"{z:.2f}" for z in SKEWS],
+            {"small_group": sg_series, "uniform": uni_series},
+            title="Measured RelErr vs skew",
+        )
+    )
+
+    crossovers = [
+        row[0]
+        for prev, row in zip(measured, measured[1:])
+        if prev[3] != row[3]
+    ]
+    if crossovers:
+        print(f"\nMeasured crossover near z = {crossovers[0]}")
+    winners = [row[3] for row in measured]
+    print(
+        "Conclusion: uniform holds its own at low skew; small group "
+        f"sampling wins from moderate skew on ({winners.count('small_group')}"
+        f"/{len(winners)} skew settings)."
+    )
+
+
+if __name__ == "__main__":
+    main()

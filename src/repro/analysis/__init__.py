@@ -1,0 +1,31 @@
+"""Analytical model of Theorem 4.1 and the Figure 3 studies."""
+
+from repro.analysis.model import (
+    AnalysisScenario,
+    expected_sq_rel_err_small_group,
+    expected_sq_rel_err_uniform,
+    figure_3a_series,
+    figure_3b_series,
+    optimal_allocation_ratio,
+)
+from repro.analysis.planner import Plan, plan_allocation_ratio, plan_budget
+from repro.analysis.simulation import (
+    SimulationResult,
+    simulate_small_group_sq_rel_err,
+    simulate_uniform_sq_rel_err,
+)
+
+__all__ = [
+    "AnalysisScenario",
+    "Plan",
+    "plan_allocation_ratio",
+    "plan_budget",
+    "SimulationResult",
+    "expected_sq_rel_err_small_group",
+    "expected_sq_rel_err_uniform",
+    "figure_3a_series",
+    "figure_3b_series",
+    "optimal_allocation_ratio",
+    "simulate_small_group_sq_rel_err",
+    "simulate_uniform_sq_rel_err",
+]

@@ -1,0 +1,114 @@
+"""Model-driven parameter planning.
+
+The analytical model (Theorem 4.1) predicts the expected SqRelErr of
+small group sampling from the data's skew and the space budget.  Turned
+around, it answers the operator's questions:
+
+* *How much runtime sample space do I need for a target error?*
+  (:func:`plan_budget`)
+* *Given my budget, what allocation ratio should I use?*
+  (:func:`plan_allocation_ratio` — the per-scenario version of the
+  paper's global "γ = 0.5 works well" recommendation)
+
+All answers are model-based, i.e. exactly as idealised as Section 4.4;
+they are starting points, not guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.analysis.model import (
+    AnalysisScenario,
+    expected_sq_rel_err_small_group,
+)
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A recommended small-group-sampling parameterisation.
+
+    Attributes
+    ----------
+    budget_fraction:
+        Total runtime sample budget as a fraction of the database.
+    allocation_ratio:
+        The γ to configure.
+    base_rate:
+        The implied overall-sample rate ``budget / (1 + g·γ)``.
+    predicted_sq_rel_err:
+        The model's expected SqRelErr at these parameters.
+    """
+
+    budget_fraction: float
+    allocation_ratio: float
+    base_rate: float
+    predicted_sq_rel_err: float
+
+
+def plan_allocation_ratio(
+    scenario: AnalysisScenario,
+    ratios: np.ndarray | None = None,
+) -> Plan:
+    """The γ minimising the model's error at the scenario's budget."""
+    if ratios is None:
+        ratios = np.linspace(0.0, 2.0, 41)
+    best_gamma = 0.0
+    best_error = float("inf")
+    for gamma in ratios:
+        error = expected_sq_rel_err_small_group(scenario, float(gamma))
+        if error < best_error:
+            best_error = error
+            best_gamma = float(gamma)
+    g = scenario.n_group_columns
+    return Plan(
+        budget_fraction=scenario.budget_fraction,
+        allocation_ratio=best_gamma,
+        base_rate=scenario.budget_fraction / (1.0 + g * best_gamma),
+        predicted_sq_rel_err=best_error,
+    )
+
+
+def plan_budget(
+    scenario: AnalysisScenario,
+    target_sq_rel_err: float,
+    max_budget_fraction: float = 0.5,
+    tolerance: float = 1e-4,
+) -> Plan:
+    """Smallest budget whose best-γ error meets ``target_sq_rel_err``.
+
+    Bisects on the budget fraction, optimising γ at each probe.  Raises
+    if even ``max_budget_fraction`` cannot reach the target under the
+    model.
+    """
+    if target_sq_rel_err <= 0:
+        raise ExperimentError("target error must be positive")
+    if not 0 < max_budget_fraction <= 1:
+        raise ExperimentError("max budget fraction must be in (0, 1]")
+
+    def best_error_at(budget: float) -> Plan:
+        probe = replace(scenario, budget_fraction=budget)
+        return plan_allocation_ratio(probe)
+
+    ceiling = best_error_at(max_budget_fraction)
+    if ceiling.predicted_sq_rel_err > target_sq_rel_err:
+        raise ExperimentError(
+            f"even a {max_budget_fraction:.0%} budget only reaches "
+            f"SqRelErr {ceiling.predicted_sq_rel_err:.3g} "
+            f"(target {target_sq_rel_err:.3g}) under the model"
+        )
+    low = 1e-6
+    high = max_budget_fraction
+    best = ceiling
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        plan = best_error_at(mid)
+        if plan.predicted_sq_rel_err <= target_sq_rel_err:
+            best = plan
+            high = mid
+        else:
+            low = mid
+    return best

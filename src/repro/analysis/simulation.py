@@ -1,0 +1,149 @@
+"""Monte Carlo companion to the Theorem 4.1 analytical model.
+
+The closed-form expressions in :mod:`repro.analysis.model` rest on the
+paper's idealised assumptions (independent Zipf attributes, Bernoulli
+sampling, selectivity-σ predicates).  This module *simulates* exactly
+that setting and measures SqRelErr empirically, so the closed form can be
+cross-checked (the tests assert agreement) and so the model's assumptions
+can be probed — e.g. the fixed-size-vs-Bernoulli sampling distinction the
+paper glosses over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.model import AnalysisScenario
+from repro.datagen.zipf import ZipfDistribution
+from repro.engine.reservoir import as_generator
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Empirical SqRelErr estimates from repeated sampling trials."""
+
+    mean: float
+    std_error: float
+    trials: int
+
+    def agrees_with(self, predicted: float, z: float = 4.0) -> bool:
+        """Whether ``predicted`` lies within ``z`` standard errors."""
+        return abs(self.mean - predicted) <= z * self.std_error + 1e-12
+
+
+def _expected_group_counts(scenario: AnalysisScenario) -> np.ndarray:
+    """Expected rows per group cell under the idealised model.
+
+    Cells are the cross product of ``g`` independent Zipf attributes;
+    the selectivity-σ predicate thins every cell equally.
+    """
+    dist = ZipfDistribution(scenario.n_distinct, scenario.z)
+    probabilities = dist.pmf
+    for _ in range(scenario.n_group_columns - 1):
+        probabilities = np.outer(probabilities, dist.pmf).reshape(-1)
+    return probabilities * scenario.selectivity * scenario.database_rows
+
+
+def simulate_uniform_sq_rel_err(
+    scenario: AnalysisScenario,
+    sample_rows: float | None = None,
+    trials: int = 200,
+    rng: int | np.random.Generator | None = 0,
+    max_cells: int = 20000,
+) -> SimulationResult:
+    """Empirical Equation 1: SqRelErr of Bernoulli uniform sampling.
+
+    Each trial draws binomial sample counts for every group cell, scales
+    by the inverse rate, and averages the squared relative errors (cells
+    whose expected size rounds to zero are excluded, as the paper's
+    ``G`` contains only realised groups).
+    """
+    if trials <= 0:
+        raise ExperimentError("trials must be positive")
+    gen = as_generator(rng)
+    counts = np.round(_expected_group_counts(scenario)).astype(np.int64)
+    counts = counts[counts > 0]
+    if counts.size == 0:
+        raise ExperimentError("scenario yields no non-empty groups")
+    if counts.size > max_cells:
+        raise ExperimentError(
+            f"scenario has {counts.size} group cells; raise max_cells or "
+            "shrink n_distinct/g"
+        )
+    s = scenario.budget_rows if sample_rows is None else sample_rows
+    rate = s / scenario.database_rows
+    if not 0.0 < rate <= 1.0:
+        raise ExperimentError(f"implied sampling rate {rate} out of range")
+    errors = np.empty(trials)
+    for t in range(trials):
+        sampled = gen.binomial(counts, rate)
+        estimates = sampled / rate
+        ratios = (counts - estimates) / counts
+        errors[t] = float(np.mean(ratios * ratios))
+    return SimulationResult(
+        mean=float(errors.mean()),
+        std_error=float(errors.std(ddof=1) / np.sqrt(trials)),
+        trials=trials,
+    )
+
+
+def simulate_small_group_sq_rel_err(
+    scenario: AnalysisScenario,
+    allocation_ratio: float,
+    trials: int = 200,
+    rng: int | np.random.Generator | None = 0,
+    max_cells: int = 20000,
+) -> SimulationResult:
+    """Empirical Equation 2 under the fixed runtime budget.
+
+    Groups whose every attribute value is common are estimated from the
+    (shrunken) overall sample; all other groups are exact (zero error),
+    exactly as in Theorem 4.1's derivation.
+    """
+    if allocation_ratio < 0:
+        raise ExperimentError("allocation ratio must be >= 0")
+    gen = as_generator(rng)
+    g = scenario.n_group_columns
+    s0 = scenario.budget_rows / (1.0 + g * allocation_ratio)
+    rate = s0 / scenario.database_rows
+    dist = ZipfDistribution(scenario.n_distinct, scenario.z)
+    t = min(1.0, allocation_ratio * s0 / scenario.database_rows)
+    n_common = dist.common_rank_count(t) if allocation_ratio > 0 else scenario.n_distinct
+
+    counts = np.round(_expected_group_counts(scenario)).astype(np.int64)
+    # Mark cells whose every per-column rank is common.
+    ranks = np.arange(scenario.n_distinct)
+    common_mask = ranks < n_common
+    cell_common = common_mask.copy()
+    for _ in range(g - 1):
+        cell_common = np.outer(cell_common, common_mask).reshape(-1)
+    keep = counts > 0
+    counts = counts[keep]
+    cell_common = cell_common[keep]
+    if counts.size == 0:
+        raise ExperimentError("scenario yields no non-empty groups")
+    if counts.size > max_cells:
+        raise ExperimentError(
+            f"scenario has {counts.size} group cells; raise max_cells or "
+            "shrink n_distinct/g"
+        )
+    sampled_counts = counts[cell_common]
+    n_groups = counts.size
+    errors = np.empty(trials)
+    for trial in range(trials):
+        if sampled_counts.size:
+            sampled = gen.binomial(sampled_counts, rate)
+            estimates = sampled / rate
+            ratios = (sampled_counts - estimates) / sampled_counts
+            total = float(np.sum(ratios * ratios))
+        else:
+            total = 0.0
+        errors[trial] = total / n_groups
+    return SimulationResult(
+        mean=float(errors.mean()),
+        std_error=float(errors.std(ddof=1) / np.sqrt(trials)),
+        trials=trials,
+    )

@@ -1,0 +1,31 @@
+"""Baseline AQP techniques the paper compares against (plus the
+workload-based baseline the paper deferred)."""
+
+from repro.baselines.congress import (
+    BasicCongress,
+    CongressConfig,
+    FullCongress,
+)
+from repro.baselines.hybrid import HybridConfig, SmallGroupWithOutlier
+from repro.baselines.icicles import IciclesConfig, IciclesSampling
+from repro.baselines.outlier import (
+    OutlierConfig,
+    OutlierIndexing,
+    select_outlier_indices,
+)
+from repro.baselines.uniform import UniformConfig, UniformSampling
+
+__all__ = [
+    "BasicCongress",
+    "CongressConfig",
+    "FullCongress",
+    "HybridConfig",
+    "IciclesConfig",
+    "IciclesSampling",
+    "OutlierConfig",
+    "OutlierIndexing",
+    "SmallGroupWithOutlier",
+    "UniformConfig",
+    "UniformSampling",
+    "select_outlier_indices",
+]

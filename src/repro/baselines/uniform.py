@@ -1,0 +1,147 @@
+"""Uniform random sampling baseline.
+
+The classic static technique: one uniform sample of the (joined) database,
+queries rewritten against it with results scaled by the inverse sampling
+rate.  To support the paper's matched-sample-space comparisons — a query
+with ``i`` grouping columns run by small group sampling at base rate ``r``
+and allocation ratio ``γ`` touches ``(1 + γ·i)·r·N`` rows, so its uniform
+competitor gets a sample of rate ``(1 + γ·i)·r`` — the technique can build
+a *family* of samples at several rates and select per query, itself a
+trivial instance of dynamic sample selection.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.answer import ApproxAnswer
+from repro.core.combiner import execute_pieces
+from repro.core.interfaces import (
+    AQPTechnique,
+    PreprocessReport,
+    SampleTableInfo,
+)
+from repro.core.rewriter import SamplePiece
+from repro.engine.database import Database
+from repro.engine.expressions import Query
+from repro.engine.reservoir import (
+    ReservoirSampler,
+    as_generator,
+    uniform_sample_indices,
+)
+from repro.engine.table import Table
+from repro.errors import RuntimePhaseError, SamplingError
+
+
+@dataclass(frozen=True)
+class UniformConfig:
+    """Parameters of the uniform sampling baseline.
+
+    Attributes
+    ----------
+    rates:
+        Sampling rates to pre-build samples for.  :meth:`answer` uses
+        ``default_rate``; :meth:`answer_at_rate` picks the closest built
+        rate (the matched-space harness uses this).
+    default_rate:
+        Rate used when none is requested (defaults to the first rate).
+    use_reservoir:
+        Build samples with streaming reservoir sampling or a direct draw.
+    seed:
+        RNG seed.
+    """
+
+    rates: tuple[float, ...] = (0.01,)
+    default_rate: float | None = None
+    use_reservoir: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.rates:
+            raise SamplingError("at least one sampling rate is required")
+        for rate in self.rates:
+            if not 0.0 < rate <= 1.0:
+                raise SamplingError(f"rate must be in (0, 1], got {rate}")
+        if self.default_rate is not None and self.default_rate not in self.rates:
+            raise SamplingError("default_rate must be one of rates")
+
+
+class UniformSampling(AQPTechnique):
+    """Uniform random sampling over the joined view (join synopsis)."""
+
+    name = "uniform"
+
+    def __init__(self, config: UniformConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or UniformConfig()
+        self._samples: dict[float, tuple[Table, float]] = {}
+
+    def preprocess(self, db: Database) -> PreprocessReport:
+        """Draw one uniform sample of the joined view per configured rate."""
+        start = time.perf_counter()
+        view = db.joined_view()
+        rng = as_generator(self.config.seed)
+        n = view.n_rows
+        self._samples = {}
+        for rate in self.config.rates:
+            k = max(1, round(rate * n))
+            if self.config.use_reservoir:
+                sampler = ReservoirSampler(k, rng)
+                sampler.offer_many(range(n))
+                indices = sampler.sample()
+            else:
+                indices = uniform_sample_indices(n, k, rng)
+            name = f"uniform_{rate:.6f}".rstrip("0").rstrip(".")
+            table = view.take(indices).rename(name)
+            actual_rate = indices.size / n if n else rate
+            self._samples[rate] = (table, actual_rate)
+        self._preprocessed = True
+        elapsed = time.perf_counter() - start
+        return self._report(db, elapsed, details={"rates": list(self.config.rates)})
+
+    def sample_tables(self) -> list[SampleTableInfo]:
+        """One stored sample table per configured rate."""
+        return [
+            SampleTableInfo(table=table, kind="uniform", rate=actual)
+            for table, actual in self._samples.values()
+        ]
+
+    def _pick_rate(self, rate: float | None) -> float:
+        if rate is None:
+            rate = self.config.default_rate or self.config.rates[0]
+        if rate in self._samples:
+            return rate
+        return min(self._samples, key=lambda r: abs(r - rate))
+
+    def answer(self, query: Query) -> ApproxAnswer:
+        """Answer using the default-rate sample."""
+        return self.answer_at_rate(query, None)
+
+    def answer_at_rate(self, query: Query, rate: float | None) -> ApproxAnswer:
+        """Answer using the built sample whose rate is closest to ``rate``."""
+        self.require_preprocessed()
+        if not self._samples:
+            raise RuntimePhaseError("no samples built")
+        chosen = self._pick_rate(rate)
+        table, actual_rate = self._samples[chosen]
+        scale = 1.0 / actual_rate
+        piece = SamplePiece(
+            table=table,
+            query=query.with_table(table.name),
+            scale=scale,
+            variance_weights=np.full(
+                table.n_rows, (1.0 - actual_rate) * scale * scale
+            ),
+            counts_as_exact=False,
+            description=f"{table.name} (rate {actual_rate:.4f})",
+        )
+        return execute_pieces([piece], technique=self.name)
+
+    def rows_for_query(self, query: Query) -> int:
+        """Rows scanned by the default-rate sample."""
+        self.require_preprocessed()
+        table, _ = self._samples[self._pick_rate(None)]
+        return table.n_rows

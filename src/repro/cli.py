@@ -1,0 +1,314 @@
+"""Command-line interface: regenerate the paper's figures and tables.
+
+Usage::
+
+    python -m repro list                  # enumerate reproducible results
+    python -m repro figure 4 6           # regenerate figures 4 and 6
+    python -m repro figure all --out results/
+    python -m repro figure 4 --quick     # tiny/fast parameterisation
+
+Each figure prints the same series the paper plots and can also be
+written to CSV with ``--out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Callable, Sequence
+from pathlib import Path
+
+from repro.experiments.figures import (
+    FigureRun,
+    run_figure3a,
+    run_figure3b,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_table_outlier,
+    run_table_preprocessing,
+)
+from repro.experiments.reporting import format_table, write_csv
+
+#: Figure id → (description, full runner, quick runner).
+FIGURES: dict[str, tuple[str, Callable[[], FigureRun], Callable[[], FigureRun]]] = {
+    "3a": (
+        "Analytical SqRelErr vs sampling allocation ratio",
+        run_figure3a,
+        run_figure3a,
+    ),
+    "3b": (
+        "Analytical SqRelErr vs skew",
+        run_figure3b,
+        run_figure3b,
+    ),
+    "4": (
+        "SmGroup vs Uniform on TPCH1G2.0z by #grouping columns",
+        lambda: run_figure4(queries_per_combo=10),
+        lambda: run_figure4(rows_per_scale=8000, queries_per_combo=2),
+    ),
+    "5": (
+        "Error vs per-group selectivity on SALES",
+        lambda: run_figure5(queries_per_combo=10),
+        lambda: run_figure5(sales_scale=0.2, queries_per_combo=2),
+    ),
+    "5-tpch": (
+        "Error vs per-group selectivity on TPCH (§5.3.1)",
+        lambda: run_figure5(database="tpch", queries_per_combo=8),
+        lambda: run_figure5(
+            database="tpch", rows_per_scale=8000, queries_per_combo=2
+        ),
+    ),
+    "6": (
+        "RelErr vs skew on the TPCH1Gyz family",
+        lambda: run_figure6(queries_per_combo=8),
+        lambda: run_figure6(
+            skews=(1.0, 2.0), rows_per_scale=8000, queries_per_combo=2
+        ),
+    ),
+    "7": (
+        "Error vs base sampling rate on TPCH1G2.0z",
+        lambda: run_figure7(queries_per_combo=8),
+        lambda: run_figure7(
+            rates=(0.02, 0.08), rows_per_scale=8000, queries_per_combo=2
+        ),
+    ),
+    "8": (
+        "SmGroup vs Basic Congress vs Uniform on SALES",
+        lambda: run_figure8(queries_per_combo=10),
+        lambda: run_figure8(sales_scale=0.2, queries_per_combo=2),
+    ),
+    "5.3.3": (
+        "SUM queries: SG+outlier vs outlier indexing vs uniform",
+        lambda: run_table_outlier(queries_per_combo=10),
+        lambda: run_table_outlier(sales_scale=0.2, queries_per_combo=2),
+    ),
+    "9": (
+        "Query-processing speedups (TPCH5G1.5z)",
+        lambda: run_figure9(queries_per_combo=5),
+        lambda: run_figure9(
+            rows_per_scale=8000, scale=1.0, queries_per_combo=2
+        ),
+    ),
+    "5.4.2": (
+        "Pre-processing time and space for all techniques",
+        run_table_preprocessing,
+        lambda: run_table_preprocessing(
+            rows_per_scale=8000, sales_scale=0.2, base_rates=(0.04,)
+        ),
+    ),
+}
+
+
+def render_run(run: FigureRun) -> str:
+    """Render one figure run as text."""
+    lines = [f"=== Paper figure/table {run.figure} ==="]
+    for name, data in sorted(run.series.items()):
+        lines.append(f"-- {name}")
+        lines.append(
+            format_table(["x", "value"], [[x, y] for x, y in data.items()])
+        )
+    if run.extras:
+        lines.append("-- extras")
+        lines.append(
+            format_table(
+                ["key", "value"],
+                [[k, v] for k, v in sorted(run.extras.items())],
+            )
+        )
+    return "\n".join(lines)
+
+
+def _save(run: FigureRun, out_dir: Path) -> Path:
+    safe = run.figure.replace(".", "_")
+    path = out_dir / f"figure_{safe}.csv"
+    rows = [
+        [series, x, y]
+        for series, data in sorted(run.series.items())
+        for x, y in data.items()
+    ]
+    write_csv(path, ["series", "x", "value"], rows)
+    return path
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Dynamic Sample Selection for Approximate Query "
+            "Processing' (SIGMOD 2003)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list reproducible figures/tables")
+    figure = subparsers.add_parser(
+        "figure", help="regenerate one or more figures"
+    )
+    figure.add_argument(
+        "ids",
+        nargs="+",
+        help=f"figure ids ({', '.join(FIGURES)}) or 'all'",
+    )
+    figure.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny parameterisation (seconds instead of minutes)",
+    )
+    figure.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to write per-figure CSV files to",
+    )
+    plan = subparsers.add_parser(
+        "plan",
+        help="recommend small-group-sampling parameters from the model",
+    )
+    plan.add_argument("--z", type=float, default=1.8, help="Zipf skew")
+    plan.add_argument(
+        "--distinct", type=int, default=50, help="distinct values per column"
+    )
+    plan.add_argument(
+        "--group-columns", type=int, default=2, help="grouping columns"
+    )
+    plan.add_argument(
+        "--selectivity", type=float, default=0.1, help="predicate selectivity"
+    )
+    plan.add_argument(
+        "--rows", type=int, default=1_000_000, help="database rows"
+    )
+    plan.add_argument(
+        "--budget",
+        type=float,
+        default=0.02,
+        help="runtime sample budget as a fraction of the database",
+    )
+    plan.add_argument(
+        "--target",
+        type=float,
+        default=None,
+        help="target SqRelErr; when given, also plan the minimum budget",
+    )
+    report = subparsers.add_parser(
+        "report",
+        help="summarise previously recorded benchmark results",
+    )
+    report.add_argument(
+        "--results",
+        type=Path,
+        default=Path("benchmarks/results"),
+        help="directory holding figure_*.csv files",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        rows = [[fid, desc] for fid, (desc, _, _) in FIGURES.items()]
+        print(format_table(["id", "description"], rows))
+        return 0
+    if args.command == "plan":
+        return _run_plan(args)
+    if args.command == "report":
+        return _run_report(args.results)
+    ids = list(FIGURES) if "all" in args.ids else args.ids
+    unknown = [i for i in ids if i not in FIGURES]
+    if unknown:
+        print(f"unknown figure ids: {unknown}; use 'repro list'")
+        return 2
+    for fid in ids:
+        description, full, quick = FIGURES[fid]
+        print(f"\nRunning {fid}: {description} ...")
+        run = (quick if args.quick else full)()
+        print(render_run(run))
+        if args.out is not None:
+            path = _save(run, args.out)
+            print(f"wrote {path}")
+    return 0
+
+
+def _run_report(results_dir: Path) -> int:
+    """Summarise recorded figure CSVs: per series, the value range."""
+    import csv
+
+    files = sorted(results_dir.glob("figure_*.csv"))
+    if not files:
+        print(
+            f"no figure_*.csv files in {results_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+        return 1
+    rows = []
+    for path in files:
+        figure = path.stem.removeprefix("figure_")
+        series: dict[str, list[float]] = {}
+        with path.open() as handle:
+            for record in csv.DictReader(handle):
+                try:
+                    value = float(record["value"])
+                except ValueError:
+                    continue
+                series.setdefault(record["series"], []).append(value)
+        for name, values in sorted(series.items()):
+            rows.append(
+                [figure, name, len(values), min(values), max(values)]
+            )
+    print(format_table(["figure", "series", "points", "min", "max"], rows))
+    print(f"\n{len(files)} recorded figures in {results_dir}")
+    return 0
+
+
+def _run_plan(args) -> int:
+    from repro.analysis.model import AnalysisScenario
+    from repro.analysis.planner import plan_allocation_ratio, plan_budget
+    from repro.errors import ExperimentError
+
+    scenario = AnalysisScenario(
+        n_group_columns=args.group_columns,
+        selectivity=args.selectivity,
+        n_distinct=args.distinct,
+        z=args.z,
+        database_rows=args.rows,
+        budget_fraction=args.budget,
+    )
+    plan = plan_allocation_ratio(scenario)
+    print("At the given budget (Theorem 4.1 model):")
+    print(
+        format_table(
+            ["parameter", "value"],
+            [
+                ["budget fraction", plan.budget_fraction],
+                ["allocation ratio (gamma)", plan.allocation_ratio],
+                ["base rate r", plan.base_rate],
+                ["predicted SqRelErr", plan.predicted_sq_rel_err],
+            ],
+        )
+    )
+    if args.target is not None:
+        try:
+            sized = plan_budget(scenario, args.target)
+        except ExperimentError as error:
+            print(f"cannot reach target: {error}")
+            return 1
+        print(f"\nMinimum budget for SqRelErr <= {args.target}:")
+        print(
+            format_table(
+                ["parameter", "value"],
+                [
+                    ["budget fraction", sized.budget_fraction],
+                    ["allocation ratio (gamma)", sized.allocation_ratio],
+                    ["base rate r", sized.base_rate],
+                    ["predicted SqRelErr", sized.predicted_sq_rel_err],
+                ],
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""Confidence intervals for sampled estimates.
+
+The paper reports confidence intervals alongside approximate answers
+(Section 4.2.2), noting that small group sampling makes them simple: the
+only source of error is the single uniformly-sampled stratum, so standard
+methods apply — a normal approximation for the general case and the
+Agresti–Coull interval [5] for binomial proportions (COUNT of a subset).
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import stats as _scipy_stats
+
+from repro.errors import RuntimePhaseError
+
+
+def z_value(level: float) -> float:
+    """Two-sided standard-normal critical value for a confidence level."""
+    if not 0.0 < level < 1.0:
+        raise RuntimePhaseError(
+            f"confidence level must be in (0, 1), got {level}"
+        )
+    return float(_scipy_stats.norm.ppf(0.5 + level / 2.0))
+
+
+def normal_interval(
+    estimate: float, variance: float, level: float = 0.95
+) -> tuple[float, float]:
+    """Normal-approximation interval ``estimate ± z·sqrt(variance)``."""
+    if variance < 0:
+        raise RuntimePhaseError(f"variance must be >= 0, got {variance}")
+    half = z_value(level) * math.sqrt(variance)
+    return (estimate - half, estimate + half)
+
+
+def bernoulli_count_variance(
+    sample_rows_in_group: int, rate: float
+) -> float:
+    """Variance of a scaled COUNT estimate from a rate-``p`` sample.
+
+    A group with ``S`` sample rows is estimated as ``S / p``; under
+    Bernoulli sampling ``Var(S/p) ≈ S (1 - p) / p²`` (plugging the observed
+    ``S`` in for its expectation, as in Theorem 4.1's derivation).
+    """
+    if not 0.0 < rate <= 1.0:
+        raise RuntimePhaseError(f"sampling rate must be in (0, 1], got {rate}")
+    return sample_rows_in_group * (1.0 - rate) / (rate * rate)
+
+
+def agresti_coull_interval(
+    successes: int, trials: int, level: float = 0.95
+) -> tuple[float, float]:
+    """Agresti–Coull interval for a binomial proportion [5].
+
+    Used to bound the fraction of rows satisfying a predicate when a COUNT
+    estimate is expressed as ``N × proportion``.
+    """
+    if trials <= 0:
+        raise RuntimePhaseError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise RuntimePhaseError(
+            f"successes must be in [0, {trials}], got {successes}"
+        )
+    z = z_value(level)
+    n_adj = trials + z * z
+    p_adj = (successes + z * z / 2.0) / n_adj
+    half = z * math.sqrt(p_adj * (1.0 - p_adj) / n_adj)
+    return (max(0.0, p_adj - half), min(1.0, p_adj + half))

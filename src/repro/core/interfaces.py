@@ -1,0 +1,161 @@
+"""Common interfaces for AQP techniques.
+
+Every technique in this library — small group sampling and all baselines —
+follows the paper's two-phase contract:
+
+* :meth:`AQPTechnique.preprocess` scans the database and builds sample
+  tables (possibly many, possibly biased), returning a
+  :class:`PreprocessReport` with the time/space accounting that Section
+  5.4.2 reports;
+* :meth:`AQPTechnique.answer` takes an aggregation query, selects the
+  appropriate sample table(s), rewrites the query against them, and
+  returns an :class:`~repro.core.answer.ApproxAnswer`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.answer import ApproxAnswer
+from repro.engine.database import Database
+from repro.engine.expressions import Query
+from repro.engine.table import Table
+from repro.errors import RuntimePhaseError
+
+
+@dataclass(frozen=True)
+class SampleTableInfo:
+    """One stored sample table plus its sampling metadata.
+
+    Attributes
+    ----------
+    table:
+        The sample rows (a join synopsis for star schemas: dimension
+        columns are materialised inline).
+    kind:
+        Role of the table (``"overall"``, ``"small_group"``, ``"outlier"``,
+        ``"stratified"``, ``"uniform"``...).
+    rate:
+        Nominal sampling rate used to build the table (1.0 for
+        100%-sampled small group / outlier tables).
+    weights:
+        Optional per-row weights (inverse inclusion probabilities) for
+        non-uniformly sampled tables.
+    """
+
+    table: Table
+    kind: str
+    rate: float
+    weights: np.ndarray | None = None
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows stored."""
+        return self.table.n_rows
+
+
+@dataclass
+class PreprocessReport:
+    """Cost accounting for a technique's pre-processing phase.
+
+    Attributes
+    ----------
+    technique:
+        Technique name.
+    wall_time_seconds:
+        Time spent building samples.
+    sample_rows:
+        Total rows across all sample tables.
+    sample_bytes:
+        Approximate bytes across all sample tables.
+    database_rows / database_bytes:
+        Size of the source database (joined view), for overhead ratios.
+    n_sample_tables:
+        Number of sample tables built.
+    details:
+        Free-form per-technique extras (e.g. small group table sizes).
+    """
+
+    technique: str
+    wall_time_seconds: float
+    sample_rows: int
+    sample_bytes: int
+    database_rows: int
+    database_bytes: int
+    n_sample_tables: int
+    details: dict = field(default_factory=dict)
+
+    @property
+    def space_overhead(self) -> float:
+        """Sample bytes as a fraction of database bytes (Section 5.4.2)."""
+        if self.database_bytes == 0:
+            return 0.0
+        return self.sample_bytes / self.database_bytes
+
+    @property
+    def row_overhead(self) -> float:
+        """Sample rows as a fraction of database rows."""
+        if self.database_rows == 0:
+            return 0.0
+        return self.sample_rows / self.database_rows
+
+
+class AQPTechnique(abc.ABC):
+    """Base class for approximate query processing techniques."""
+
+    #: Short technique name used in reports and answers.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._preprocessed = False
+
+    @abc.abstractmethod
+    def preprocess(self, db: Database) -> PreprocessReport:
+        """Scan the database and build this technique's sample tables."""
+
+    @abc.abstractmethod
+    def answer(self, query: Query) -> ApproxAnswer:
+        """Answer a query approximately from the built samples."""
+
+    @abc.abstractmethod
+    def sample_tables(self) -> list[SampleTableInfo]:
+        """All sample tables this technique stores."""
+
+    def require_preprocessed(self) -> None:
+        """Raise unless :meth:`preprocess` has completed."""
+        if not self._preprocessed:
+            raise RuntimePhaseError(
+                f"{self.name}: preprocess() must run before answering queries"
+            )
+
+    def rows_for_query(self, query: Query) -> int:
+        """Sample rows this technique would scan for ``query``.
+
+        The experiment harness uses this to grant competing techniques the
+        same per-query sample space (Section 5.2.3).  Default: all stored
+        rows.
+        """
+        return sum(info.n_rows for info in self.sample_tables())
+
+    def _report(
+        self,
+        db: Database,
+        wall_time_seconds: float,
+        details: dict | None = None,
+    ) -> PreprocessReport:
+        """Assemble a report from the technique's current sample tables."""
+        infos = self.sample_tables()
+        view_rows = db.fact_table.n_rows
+        return PreprocessReport(
+            technique=self.name,
+            wall_time_seconds=wall_time_seconds,
+            sample_rows=sum(i.n_rows for i in infos),
+            sample_bytes=sum(i.table.memory_bytes() for i in infos),
+            database_rows=view_rows,
+            database_bytes=db.total_bytes(),
+            n_sample_tables=len(infos),
+            details=details or {},
+        )

@@ -1,0 +1,142 @@
+"""Choosing pair columns for joint small group tables (§4.2.3).
+
+"As an alternative to using single-column group-by queries, one could
+generate small group tables based on selected group-by queries over
+pairs of columns ... The number of pairs of columns for an m-column
+database is m(m−1)/2, however, so some judgment would have to be
+exercised in selecting a small subset of pairs when m is large."
+
+This module supplies that judgment: a pair is worth a table when many
+rows have a *rare combination* of two individually-*common* values —
+rows the single-column tables cannot cover.  :func:`suggest_pair_columns`
+scores every candidate pair by that incremental coverage and returns the
+best few.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.engine.column import ColumnKind
+from repro.engine.executor import dense_ids
+from repro.engine.stats import collect_column_stats
+from repro.engine.table import Table
+from repro.errors import PreprocessingError
+
+
+@dataclass(frozen=True)
+class PairSuggestion:
+    """One scored pair-column candidate.
+
+    Attributes
+    ----------
+    columns:
+        The column pair.
+    benefit_rows:
+        Rows whose joint value is rare but whose individual values are
+        both common — coverage only a pair table provides.
+    table_rows:
+        Rows a pair table for this pair would store (its cost).
+    """
+
+    columns: tuple[str, str]
+    benefit_rows: int
+    table_rows: int
+
+
+def _uncommon_mask(view: Table, column: str, common: set) -> np.ndarray:
+    col = view.column(column)
+    dictionary = col.dictionary or ()
+    by_code = np.asarray([v not in common for v in dictionary])
+    if len(dictionary) == 0:
+        return np.zeros(view.n_rows, dtype=bool)
+    return by_code[col.data]
+
+
+def _pair_uncommon_mask(
+    view: Table, a: str, b: str, small_fraction: float
+) -> np.ndarray:
+    ids, n_groups = dense_ids(
+        [view.column(a).data, view.column(b).data]
+    )
+    counts = np.bincount(ids, minlength=n_groups)
+    order = np.argsort(-counts, kind="stable")
+    covered = np.cumsum(counts[order])
+    target = view.n_rows * (1.0 - small_fraction)
+    n_common = int(np.searchsorted(covered, target - 1e-9)) + 1
+    is_common = np.zeros(n_groups, dtype=bool)
+    is_common[order[:n_common]] = True
+    return ~is_common[ids]
+
+
+def suggest_pair_columns(
+    view: Table,
+    small_fraction: float,
+    candidates: list[str] | None = None,
+    max_pairs: int = 5,
+    max_candidate_columns: int = 15,
+    distinct_threshold: int = 5000,
+) -> list[PairSuggestion]:
+    """Rank column pairs by the coverage only a pair table provides.
+
+    Parameters
+    ----------
+    view:
+        The (joined) database view.
+    small_fraction:
+        The ``t`` the small group tables are built with
+        (``SmallGroupConfig.small_fraction``).
+    candidates:
+        Columns to consider (default: every retained categorical column).
+    max_pairs:
+        Number of suggestions to return.
+    max_candidate_columns:
+        Guard on the quadratic pair enumeration — the highest-cardinality
+        categorical columns are kept (rare combinations need domain room).
+    distinct_threshold:
+        Same τ cutoff as the first pre-processing scan.
+
+    Returns suggestions sorted by descending ``benefit_rows``; pairs with
+    no incremental benefit are omitted.
+    """
+    if not 0.0 < small_fraction < 1.0:
+        raise PreprocessingError(
+            f"small fraction must be in (0, 1), got {small_fraction}"
+        )
+    if candidates is None:
+        candidates = [
+            c
+            for c in view.column_names
+            if view.column(c).kind is ColumnKind.STRING
+        ]
+    stats = collect_column_stats(view, candidates, distinct_threshold)
+    retained = [c for c in candidates if c in stats]
+    if len(retained) > max_candidate_columns:
+        retained = sorted(
+            retained, key=lambda c: -stats[c].distinct_count
+        )[:max_candidate_columns]
+    single_uncommon = {
+        c: _uncommon_mask(
+            view, c, stats[c].common_values(small_fraction)
+        )
+        for c in retained
+    }
+    suggestions = []
+    for a, b in combinations(retained, 2):
+        pair_mask = _pair_uncommon_mask(view, a, b, small_fraction)
+        benefit = pair_mask & ~single_uncommon[a] & ~single_uncommon[b]
+        benefit_rows = int(benefit.sum())
+        if benefit_rows == 0:
+            continue
+        suggestions.append(
+            PairSuggestion(
+                columns=(a, b),
+                benefit_rows=benefit_rows,
+                table_rows=int(pair_mask.sum()),
+            )
+        )
+    suggestions.sort(key=lambda s: (-s.benefit_rows, s.table_rows, s.columns))
+    return suggestions[:max_pairs]

@@ -1,0 +1,77 @@
+"""Runtime query rewriting against sample tables.
+
+A technique's runtime phase turns one incoming query into a list of
+:class:`SamplePiece` objects — one per sample table it touches.  Each
+piece carries the rewritten query (original predicate plus any bitmask
+de-duplication filter), the scale factor for the aggregates, per-row
+weights, and the per-row variance contributions.  The paper's Section
+4.2.2 UNION ALL is exactly this list rendered as SQL, which
+:func:`pieces_to_sql` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.engine.expressions import Query
+from repro.sql.formatter import format_query
+
+
+@dataclass
+class SamplePiece:
+    """One branch of a rewritten query.
+
+    Attributes
+    ----------
+    table:
+        Sample table to scan.
+    query:
+        Rewritten query (WHERE includes any bitmask filter) targeting
+        ``table``'s name.
+    scale:
+        Aggregate scale factor (``1/r`` for the overall sample, 1 for
+        100%-sampled small group tables).
+    weights:
+        Optional per-row weights for non-uniform sample tables.
+    variance_weights:
+        Per-row variance contribution (see
+        :func:`repro.engine.executor.aggregate_table`); ``None`` for
+        zero-variance pieces.
+    zero_variance:
+        Whether this piece's contributions carry no sampling variance
+        (100%-sampled stratum).
+    counts_as_exact:
+        Whether groups answered solely from this piece may be reported as
+        exact.  Defaults to ``zero_variance``.  Small group tables cover
+        their groups *completely*, so they count; an outlier stratum is
+        100%-sampled but covers only the outlier rows of a group, so it
+        does not (set this to ``False``).
+    description:
+        Human-readable label for reports.
+    """
+
+    table: Table
+    query: Query
+    scale: float = 1.0
+    weights: np.ndarray | None = None
+    variance_weights: np.ndarray | None = None
+    zero_variance: bool = False
+    counts_as_exact: bool | None = None
+    description: str = ""
+
+    @property
+    def marks_exact(self) -> bool:
+        """Whether groups from this piece alone may be marked exact."""
+        if self.counts_as_exact is None:
+            return self.zero_variance
+        return self.counts_as_exact
+
+
+def pieces_to_sql(pieces: list[SamplePiece]) -> str:
+    """Render the rewritten query as the paper's UNION ALL SQL text."""
+    return "\nUNION ALL\n".join(
+        format_query(piece.query, scale=piece.scale) for piece in pieces
+    )

@@ -1,0 +1,85 @@
+"""Workload-driven sample selection policies.
+
+Section 3.3 notes that richer dynamic-selection policies can consult
+query-distribution information, and Section 5.4.2 suggests the concrete
+space optimisation: "available workloads may be analyzed to eliminate
+infrequently referenced grouping columns".  This module implements that
+trimming: count how often each column is used as a grouping column in a
+(training) workload, keep only the frequently used ones, and hand the
+result to :class:`SmallGroupConfig.columns`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import replace
+
+from repro.core.smallgroup import SmallGroupConfig, SmallGroupSampling
+from repro.errors import WorkloadError
+from repro.workload.spec import Workload
+
+
+def grouping_column_counts(workload: Workload) -> Counter:
+    """How many workload queries group on each column."""
+    counts: Counter = Counter()
+    for wq in workload.queries:
+        for column in wq.query.group_by:
+            counts[column] += 1
+    return counts
+
+
+def trim_columns(
+    workload: Workload,
+    min_references: int = 1,
+    top_k: int | None = None,
+) -> tuple[str, ...]:
+    """Columns worth building small group tables for, per the workload.
+
+    Parameters
+    ----------
+    workload:
+        Training workload to analyse.
+    min_references:
+        Columns grouped on fewer than this many times are dropped.
+    top_k:
+        Optionally keep only the ``k`` most frequently grouped columns.
+
+    Returns the retained column names, most-referenced first.
+    """
+    if min_references < 1:
+        raise WorkloadError("min_references must be >= 1")
+    if top_k is not None and top_k < 1:
+        raise WorkloadError("top_k must be >= 1 when given")
+    counts = grouping_column_counts(workload)
+    retained = [
+        column
+        for column, count in counts.most_common()
+        if count >= min_references
+    ]
+    if top_k is not None:
+        retained = retained[:top_k]
+    if not retained:
+        raise WorkloadError(
+            "workload trimming removed every candidate column; lower "
+            "min_references or top_k"
+        )
+    return tuple(retained)
+
+
+def small_group_for_workload(
+    db,
+    workload: Workload,
+    config: SmallGroupConfig | None = None,
+    min_references: int = 1,
+    top_k: int | None = None,
+) -> SmallGroupSampling:
+    """Build small group sampling with a workload-trimmed column set.
+
+    Convenience wrapper: trims the candidate columns, injects them into
+    the config, runs pre-processing, and returns the ready technique.
+    """
+    config = config or SmallGroupConfig()
+    columns = trim_columns(workload, min_references, top_k)
+    technique = SmallGroupSampling(replace(config, columns=columns))
+    technique.preprocess(db)
+    return technique

@@ -1,0 +1,46 @@
+"""Synthetic data generators: Zipf utilities, skewed TPC-H, SALES-like."""
+
+from repro.datagen.sales import (
+    SALES_KEY_COLUMNS,
+    SALES_MEASURE_COLUMNS,
+    SalesConfig,
+    generate_sales,
+    generate_sales_config,
+)
+from repro.datagen.synthetic import (
+    CategoricalSpec,
+    MeasureSpec,
+    categorical_values,
+    example_3_1,
+    generate_flat_database,
+    generate_flat_table,
+)
+from repro.datagen.tpch import (
+    TPCH_KEY_COLUMNS,
+    TPCH_MEASURE_COLUMNS,
+    TPCHConfig,
+    generate_tpch,
+    generate_tpch_config,
+)
+from repro.datagen.zipf import ZipfDistribution, zipf_pmf
+
+__all__ = [
+    "CategoricalSpec",
+    "MeasureSpec",
+    "SALES_KEY_COLUMNS",
+    "SALES_MEASURE_COLUMNS",
+    "SalesConfig",
+    "TPCH_KEY_COLUMNS",
+    "TPCH_MEASURE_COLUMNS",
+    "TPCHConfig",
+    "ZipfDistribution",
+    "categorical_values",
+    "example_3_1",
+    "generate_flat_database",
+    "generate_flat_table",
+    "generate_sales",
+    "generate_sales_config",
+    "generate_tpch",
+    "generate_tpch_config",
+    "zipf_pmf",
+]

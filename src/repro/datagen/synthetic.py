@@ -1,0 +1,122 @@
+"""Simple single-table synthetic data.
+
+These generators back the unit tests and the paper's worked examples: a
+configurable flat table of Zipf-distributed categorical columns plus
+numeric measures, and the 90-stereos/10-TVs table of Example 3.1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.zipf import ZipfDistribution
+from repro.engine.column import Column
+from repro.engine.database import Database
+from repro.engine.reservoir import as_generator
+from repro.engine.table import Table
+
+
+@dataclass(frozen=True)
+class CategoricalSpec:
+    """One Zipf-distributed categorical column.
+
+    Attributes
+    ----------
+    name:
+        Column name.
+    n_values:
+        Number of distinct values (``<name>_000`` ... style labels).
+    z:
+        Zipf skew parameter; 0 means uniform.
+    """
+
+    name: str
+    n_values: int
+    z: float
+
+
+@dataclass(frozen=True)
+class MeasureSpec:
+    """One numeric measure column.
+
+    ``distribution`` selects the value model:
+
+    * ``"uniform"`` — Uniform(low, high);
+    * ``"lognormal"`` — exp(Normal(mu, sigma)), a right-skewed distribution
+      suitable for the outlier-indexing experiments;
+    * ``"zipf_int"`` — integer ranks + 1 from a Zipf(z) over ``high`` values.
+    """
+
+    name: str
+    distribution: str = "uniform"
+    low: float = 0.0
+    high: float = 100.0
+    mu: float = 3.0
+    sigma: float = 1.0
+    z: float = 1.0
+
+
+def categorical_values(name: str, n_values: int) -> list[str]:
+    """Deterministic string labels for a categorical column's domain."""
+    width = max(3, len(str(n_values - 1)))
+    return [f"{name}_{i:0{width}d}" for i in range(n_values)]
+
+
+def generate_categorical(
+    spec: CategoricalSpec, n_rows: int, rng: np.random.Generator
+) -> Column:
+    """Generate one categorical column per its spec."""
+    dist = ZipfDistribution(spec.n_values, spec.z)
+    ranks = dist.sample(n_rows, rng)
+    return Column.from_codes(ranks.astype(np.int32), categorical_values(spec.name, spec.n_values))
+
+
+def generate_measure(
+    spec: MeasureSpec, n_rows: int, rng: np.random.Generator
+) -> Column:
+    """Generate one measure column per its spec."""
+    if spec.distribution == "uniform":
+        return Column.floats(rng.uniform(spec.low, spec.high, n_rows))
+    if spec.distribution == "lognormal":
+        return Column.floats(rng.lognormal(spec.mu, spec.sigma, n_rows))
+    if spec.distribution == "zipf_int":
+        dist = ZipfDistribution(max(1, int(spec.high)), spec.z)
+        return Column.ints(dist.sample(n_rows, rng) + 1)
+    raise ValueError(f"unknown measure distribution {spec.distribution!r}")
+
+
+def generate_flat_table(
+    name: str,
+    n_rows: int,
+    categoricals: Sequence[CategoricalSpec],
+    measures: Sequence[MeasureSpec] = (),
+    seed: int | np.random.Generator | None = 0,
+) -> Table:
+    """Generate a flat table of independent Zipf categoricals + measures."""
+    rng = as_generator(seed)
+    columns: dict[str, Column] = {}
+    for spec in categoricals:
+        columns[spec.name] = generate_categorical(spec, n_rows, rng)
+    for spec in measures:
+        columns[spec.name] = generate_measure(spec, n_rows, rng)
+    return Table(name, columns)
+
+
+def generate_flat_database(
+    name: str,
+    n_rows: int,
+    categoricals: Sequence[CategoricalSpec],
+    measures: Sequence[MeasureSpec] = (),
+    seed: int | np.random.Generator | None = 0,
+) -> Database:
+    """Like :func:`generate_flat_table`, wrapped in a single-table database."""
+    return Database([generate_flat_table(name, n_rows, categoricals, measures, seed)])
+
+
+def example_3_1() -> Table:
+    """The paper's Example 3.1: 90 Stereo tuples and 10 TV tuples."""
+    products = ["Stereo"] * 90 + ["TV"] * 10
+    return Table.from_dict("products", {"Product": products})

@@ -1,0 +1,80 @@
+"""Truncated Zipfian distributions.
+
+The paper's synthetic databases use Zipfian value distributions: the
+frequency of the *i*-th most common value is proportional to ``i**-z`` for
+a skew parameter ``z``, truncated to ``c`` distinct values (Section 4.4).
+The analytical model, the TPC-H-with-skew generator [13], and the SALES
+generator all draw from :class:`ZipfDistribution`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.reservoir import as_generator
+from repro.errors import SamplingError
+
+
+def zipf_pmf(n_values: int, z: float) -> np.ndarray:
+    """Probability mass of a Zipf(z) distribution truncated to ``n_values``.
+
+    ``pmf[i]`` is the probability of the ``(i+1)``-th most common value.
+    ``z = 0`` gives the uniform distribution.
+    """
+    if n_values <= 0:
+        raise SamplingError(f"need at least one value, got {n_values}")
+    if z < 0:
+        raise SamplingError(f"skew parameter must be >= 0, got {z}")
+    ranks = np.arange(1, n_values + 1, dtype=np.float64)
+    weights = ranks**-z
+    return weights / weights.sum()
+
+
+class ZipfDistribution:
+    """A truncated Zipfian distribution over ranks ``0 .. n_values - 1``.
+
+    Rank 0 is the most common value.  Generators map ranks onto domain
+    values (strings, dimension keys, ...).
+    """
+
+    def __init__(self, n_values: int, z: float) -> None:
+        self.n_values = n_values
+        self.z = z
+        self.pmf = zipf_pmf(n_values, z)
+        self._cdf = np.cumsum(self.pmf)
+        # Guard against floating point drift in the final bucket.
+        self._cdf[-1] = 1.0
+
+    def sample(
+        self, n: int, rng: int | np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Draw ``n`` ranks (int64) via inverse-CDF sampling."""
+        gen = as_generator(rng)
+        u = gen.random(n)
+        return np.searchsorted(self._cdf, u, side="right").astype(np.int64)
+
+    def expected_counts(self, n: int) -> np.ndarray:
+        """Expected frequency of each rank in an ``n``-row sample."""
+        return self.pmf * n
+
+    def head_coverage(self, k: int) -> float:
+        """Total probability mass of the ``k`` most common ranks."""
+        if k <= 0:
+            return 0.0
+        return float(self._cdf[min(k, self.n_values) - 1])
+
+    def common_rank_count(self, small_fraction: float) -> int:
+        """Size of the minimal common-value prefix covering ``1 - t`` mass.
+
+        This mirrors :meth:`ColumnStats.common_values` on the *expected*
+        distribution and is what the analytical model uses for ``L(C)``.
+        """
+        if not 0.0 <= small_fraction <= 1.0:
+            raise SamplingError(
+                f"small fraction must be in [0, 1], got {small_fraction}"
+            )
+        target = 1.0 - small_fraction
+        # Smallest k with cdf[k-1] >= target; k = 0 when target <= 0.
+        if target <= 0.0:
+            return 0
+        return int(np.searchsorted(self._cdf, target - 1e-12, side="left")) + 1

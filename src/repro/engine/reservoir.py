@@ -1,0 +1,121 @@
+"""Random sampling primitives.
+
+The paper's pre-processing builds its overall sample with reservoir
+sampling [Vitter 85] during the second scan of the database.
+:class:`ReservoirSampler` implements the classic Algorithm R over a stream
+of row indices (the streaming discipline matters: the small group sampling
+build consumes rows once, in a single pass, populating the reservoir and
+the small group tables simultaneously).
+
+For non-streaming callers, :func:`uniform_sample_indices` draws a fixed-size
+uniform sample of row indices directly, and :func:`bernoulli_sample_indices`
+draws a Bernoulli (per-row coin flip) sample — the variant assumed by the
+paper's analytical model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import SamplingError
+
+
+def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce a seed or generator into a :class:`numpy.random.Generator`."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+class ReservoirSampler:
+    """Streaming fixed-size uniform sample of item indices (Algorithm R).
+
+    After observing a stream of ``n`` items, every item has inclusion
+    probability ``min(1, k/n)``.
+
+    Parameters
+    ----------
+    capacity:
+        Reservoir size ``k``.
+    rng:
+        Seed or generator for reproducibility.
+    """
+
+    def __init__(self, capacity: int, rng: int | np.random.Generator | None = None):
+        if capacity < 0:
+            raise SamplingError(f"reservoir capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._rng = as_generator(rng)
+        self._reservoir: list[int] = []
+        self._seen = 0
+
+    @property
+    def seen(self) -> int:
+        """Number of stream items observed so far."""
+        return self._seen
+
+    def offer(self, item: int) -> None:
+        """Observe one stream item."""
+        self._seen += 1
+        if self.capacity == 0:
+            return
+        if len(self._reservoir) < self.capacity:
+            self._reservoir.append(item)
+            return
+        j = int(self._rng.integers(0, self._seen))
+        if j < self.capacity:
+            self._reservoir[j] = item
+
+    def offer_many(self, items: Iterable[int]) -> None:
+        """Observe a batch of stream items in order."""
+        for item in items:
+            self.offer(item)
+
+    def sample(self) -> np.ndarray:
+        """Return the sampled item values, sorted ascending."""
+        return np.sort(np.asarray(self._reservoir, dtype=np.int64))
+
+
+def uniform_sample_indices(
+    n: int, k: int, rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Draw ``min(k, n)`` distinct row indices uniformly, sorted ascending."""
+    if n < 0 or k < 0:
+        raise SamplingError("population and sample sizes must be non-negative")
+    gen = as_generator(rng)
+    k = min(k, n)
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(gen.choice(n, size=k, replace=False)).astype(np.int64)
+
+
+def bernoulli_sample_indices(
+    n: int, rate: float, rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Include each of ``n`` rows independently with probability ``rate``."""
+    if not 0.0 <= rate <= 1.0:
+        raise SamplingError(f"sampling rate must be in [0, 1], got {rate}")
+    gen = as_generator(rng)
+    keep = gen.random(n) < rate
+    return np.flatnonzero(keep).astype(np.int64)
+
+
+def weighted_sample_indices(
+    probabilities: np.ndarray, rng: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Poisson sampling: include row ``i`` with probability ``p[i]``.
+
+    Used by the congressional-sampling baseline, where each tuple's
+    inclusion probability is the (rescaled) max of its house and senate
+    allocations.
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if probabilities.size and (
+        probabilities.min() < 0.0 or probabilities.max() > 1.0
+    ):
+        raise SamplingError("inclusion probabilities must lie in [0, 1]")
+    gen = as_generator(rng)
+    keep = gen.random(probabilities.shape[0]) < probabilities
+    return np.flatnonzero(keep).astype(np.int64)

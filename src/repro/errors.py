@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class at an API boundary.  The subclasses mirror
+the major layers of the system: schema/catalog problems, query construction
+and execution problems, SQL text problems, sampling/pre-processing problems,
+and workload/experiment configuration problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table, column, or foreign key definition is invalid or missing."""
+
+
+class ColumnTypeError(SchemaError):
+    """An operation was applied to a column of an incompatible type."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or references objects that do not exist."""
+
+
+class UnsupportedQueryError(QueryError):
+    """The query is valid SQL but outside the supported aggregation subset."""
+
+
+class SQLSyntaxError(QueryError):
+    """SQL text could not be tokenised or parsed.
+
+    Attributes
+    ----------
+    position:
+        Character offset into the SQL text at which the problem was found,
+        or ``None`` when the problem is not tied to one location.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class SamplingError(ReproError):
+    """Sample construction failed or sampling parameters are invalid."""
+
+
+class PreprocessingError(SamplingError):
+    """The pre-processing phase of an AQP technique failed."""
+
+
+class RuntimePhaseError(ReproError):
+    """The runtime phase could not answer a query from the built samples."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is invalid for the target database."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is inconsistent or cannot be run."""

@@ -1,0 +1,11 @@
+"""Accuracy metrics from Section 4.3."""
+
+from repro.metrics.error import (
+    QueryAccuracy,
+    pct_groups,
+    rel_err,
+    score,
+    sq_rel_err,
+)
+
+__all__ = ["QueryAccuracy", "pct_groups", "rel_err", "score", "sq_rel_err"]

@@ -1,0 +1,110 @@
+"""Accuracy metrics for approximate group-by answers (Section 4.3).
+
+Given an exact answer with ``n`` groups and an approximate answer covering
+``m ≤ n`` of them (sampling estimators never invent spurious groups):
+
+* ``PctGroups`` (Definition 4.1) — percentage of groups missed,
+  ``(n - m)/n × 100``;
+* ``RelErr`` (Definition 4.2) — average relative error in the aggregate
+  values, counting each missed group as 100% error;
+* ``SqRelErr`` (Definition 4.3) — same with squared relative errors, the
+  analytically tractable variant used in Section 4.4.
+
+All three take the answers as plain ``group → value`` mappings so they can
+score any technique (or the analytical model's idealised answers).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any
+
+GroupKey = tuple[Any, ...]
+
+
+def _split_groups(
+    exact: Mapping[GroupKey, float], approx: Mapping[GroupKey, float]
+) -> tuple[list[GroupKey], int]:
+    """Common groups and the count of groups missed by the approximation.
+
+    Spurious approximate groups (absent from the exact answer) are ignored,
+    matching the paper's assumption ``G' ⊆ G``.
+    """
+    common = [g for g in approx if g in exact]
+    return common, len(exact) - len(common)
+
+
+def pct_groups(
+    exact: Mapping[GroupKey, float], approx: Mapping[GroupKey, float]
+) -> float:
+    """Percentage of exact-answer groups missing from the approximation."""
+    n = len(exact)
+    if n == 0:
+        return 0.0
+    _, missed = _split_groups(exact, approx)
+    return 100.0 * missed / n
+
+
+def rel_err(
+    exact: Mapping[GroupKey, float], approx: Mapping[GroupKey, float]
+) -> float:
+    """Average relative error (Definition 4.2).
+
+    Missed groups contribute a relative error of 1 (i.e. 100%).  Groups
+    whose exact aggregate is 0 are skipped in the ratio term (they cannot
+    occur for COUNT; for SUM they would make the metric undefined).
+    """
+    n = len(exact)
+    if n == 0:
+        return 0.0
+    common, missed = _split_groups(exact, approx)
+    total = float(missed)
+    for g in common:
+        x = exact[g]
+        if x == 0:
+            continue
+        total += abs(x - approx[g]) / abs(x)
+    return total / n
+
+
+def sq_rel_err(
+    exact: Mapping[GroupKey, float], approx: Mapping[GroupKey, float]
+) -> float:
+    """Average squared relative error (Definition 4.3)."""
+    n = len(exact)
+    if n == 0:
+        return 0.0
+    common, missed = _split_groups(exact, approx)
+    total = float(missed)
+    for g in common:
+        x = exact[g]
+        if x == 0:
+            continue
+        ratio = (x - approx[g]) / x
+        total += ratio * ratio
+    return total / n
+
+
+@dataclass(frozen=True)
+class QueryAccuracy:
+    """All three accuracy metrics for one query."""
+
+    rel_err: float
+    pct_groups: float
+    sq_rel_err: float
+    n_exact_groups: int
+    n_approx_groups: int
+
+
+def score(
+    exact: Mapping[GroupKey, float], approx: Mapping[GroupKey, float]
+) -> QueryAccuracy:
+    """Compute all metrics for one (exact, approximate) answer pair."""
+    return QueryAccuracy(
+        rel_err=rel_err(exact, approx),
+        pct_groups=pct_groups(exact, approx),
+        sq_rel_err=sq_rel_err(exact, approx),
+        n_exact_groups=len(exact),
+        n_approx_groups=len([g for g in approx if g in exact]),
+    )

@@ -1,0 +1,5 @@
+"""Thin SQL middleware over the engine + an AQP technique."""
+
+from repro.middleware.session import AQPSession, SessionResult
+
+__all__ = ["AQPSession", "SessionResult"]

@@ -1,0 +1,217 @@
+"""The AQP middleware session.
+
+The paper frames sampling-based AQP systems as "a thin layer of
+middleware which re-writes queries to run against sample tables stored as
+ordinary relations in a standard, off-the-shelf database server".
+:class:`AQPSession` is that layer over this package's engine: SQL text
+goes in, approximate (and/or exact) answers come out, and every query is
+logged so the observed workload can drive workload-aware tuning
+(column trimming, §5.4.2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.answer import ApproxAnswer
+from repro.core.interfaces import AQPTechnique, PreprocessReport
+from repro.engine.database import Database
+from repro.engine.executor import GroupedResult, execute
+from repro.engine.expressions import Query
+from repro.errors import RuntimePhaseError
+from repro.experiments.reporting import format_table
+from repro.sql.parser import parse_query
+from repro.workload.spec import Workload, WorkloadConfig, WorkloadQuery
+
+
+@dataclass
+class SessionResult:
+    """Outcome of one middleware query.
+
+    Holds whichever of the approximate/exact answers were requested, with
+    wall-clock timings, and renders a side-by-side comparison.
+    """
+
+    sql: str
+    query: Query
+    approx: ApproxAnswer | None = None
+    exact: GroupedResult | None = None
+    approx_seconds: float = 0.0
+    exact_seconds: float = 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Exact time over approximate time (requires mode="both")."""
+        if self.approx_seconds <= 0 or self.exact_seconds <= 0:
+            return float("nan")
+        return self.exact_seconds / self.approx_seconds
+
+    def to_text(self, max_rows: int = 20, level: float = 0.95) -> str:
+        """Human-readable rendering of the result."""
+        lines = []
+        if self.approx is not None:
+            lines.append(
+                f"approximate answer ({self.approx.technique}, "
+                f"{self.approx.n_groups} groups, "
+                f"{self.approx_seconds * 1000:.1f} ms)"
+            )
+            headers = list(self.approx.group_columns) + [
+                f"{name} (est.)" for name in self.approx.aggregate_names
+            ] + ["95% CI", "exact?"]
+            rows = []
+            ordered = sorted(
+                self.approx.groups.items(),
+                key=lambda item: -item[1][0].value,
+            )
+            for group, estimates in ordered[:max_rows]:
+                first = estimates[0]
+                lo, hi = first.confidence_interval(level)
+                rows.append(
+                    list(group)
+                    + [e.value for e in estimates]
+                    + [f"[{lo:.1f}, {hi:.1f}]", "yes" if first.exact else ""]
+                )
+            lines.append(format_table(headers, rows))
+        if self.exact is not None:
+            lines.append(
+                f"exact answer ({self.exact.n_groups} groups, "
+                f"{self.exact_seconds * 1000:.1f} ms)"
+            )
+        if self.approx is not None and self.exact is not None:
+            lines.append(f"speedup: {self.speedup:.1f}x")
+        return "\n".join(lines)
+
+
+@dataclass
+class _LogEntry:
+    sql: str
+    query: Query
+    mode: str
+    seconds: float
+
+
+class AQPSession:
+    """SQL-in / answers-out middleware over a database and an AQP technique."""
+
+    def __init__(
+        self, db: Database, technique: AQPTechnique | None = None
+    ) -> None:
+        self.db = db
+        self.technique = technique
+        self.report: PreprocessReport | None = None
+        self._log: list[_LogEntry] = []
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def install(self, technique: AQPTechnique) -> PreprocessReport:
+        """Pre-process ``technique`` against the database and adopt it."""
+        self.report = technique.preprocess(self.db)
+        self.technique = technique
+        return self.report
+
+    def require_technique(self) -> AQPTechnique:
+        """The installed technique, or an explanatory error."""
+        if self.technique is None:
+            raise RuntimePhaseError(
+                "no AQP technique installed; call session.install(...) first"
+            )
+        return self.technique
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def sql(self, text: str, mode: str = "approx") -> SessionResult:
+        """Run a SQL aggregation query.
+
+        ``mode`` is ``"approx"`` (default), ``"exact"``, or ``"both"``.
+        """
+        if mode not in ("approx", "exact", "both"):
+            raise RuntimePhaseError(
+                f"mode must be approx, exact, or both; got {mode!r}"
+            )
+        query = parse_query(text)
+        result = SessionResult(sql=text, query=query)
+        if mode in ("approx", "both"):
+            technique = self.require_technique()
+            start = time.perf_counter()
+            result.approx = technique.answer(query)
+            result.approx_seconds = time.perf_counter() - start
+        if mode in ("exact", "both"):
+            start = time.perf_counter()
+            result.exact = execute(self.db, query)
+            result.exact_seconds = time.perf_counter() - start
+        self._log.append(
+            _LogEntry(
+                sql=text,
+                query=query,
+                mode=mode,
+                seconds=result.approx_seconds or result.exact_seconds,
+            )
+        )
+        return result
+
+    def explain(self, text: str) -> str:
+        """Describe how the installed technique would answer ``text``.
+
+        Shows the chosen sample tables and the rewritten SQL without
+        executing the aggregation.
+        """
+        technique = self.require_technique()
+        query = parse_query(text)
+        chooser = getattr(technique, "choose_samples", None)
+        if chooser is None:
+            return (
+                f"technique {technique.name!r} does not expose a rewrite "
+                "plan; it would scan "
+                f"{technique.rows_for_query(query)} sample rows"
+            )
+        pieces = chooser(query)
+        from repro.core.rewriter import pieces_to_sql
+
+        lines = [f"technique: {technique.name}", "pieces:"]
+        for piece in pieces:
+            lines.append(
+                f"  - {piece.description or piece.table.name}: "
+                f"{piece.table.n_rows} rows, scale {piece.scale:g}"
+                f"{', exact' if piece.zero_variance else ''}"
+            )
+        lines.append("rewritten SQL:")
+        lines.append(pieces_to_sql(pieces))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Workload feedback
+    # ------------------------------------------------------------------
+    @property
+    def query_count(self) -> int:
+        """Number of queries issued through the session."""
+        return len(self._log)
+
+    def observed_workload(self) -> Workload:
+        """The session's query log as a :class:`Workload`.
+
+        Feed this to :func:`repro.core.workload_policy.trim_columns` to
+        retune the sample layout to what users actually ask.
+        """
+        queries = []
+        for index, entry in enumerate(self._log):
+            query = entry.query
+            predicates = (
+                len(getattr(query.where, "operands", (query.where,)))
+                if query.where is not None
+                else 0
+            )
+            queries.append(
+                WorkloadQuery(
+                    query=query,
+                    n_group_columns=len(query.group_by),
+                    n_predicates=predicates,
+                    subset_fraction=0.0,
+                    aggregate=query.aggregates[0].func.value,
+                    index=index,
+                )
+            )
+        config = WorkloadConfig(queries_per_combo=max(1, len(queries)))
+        return Workload(config=config, queries=tuple(queries))

@@ -1,0 +1,37 @@
+"""SQL surface: lexer, parser, and formatter for the aggregation subset."""
+
+from repro.sql.formatter import (
+    format_aggregate,
+    format_literal,
+    format_predicate,
+    format_query,
+    format_select,
+    format_statement,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import (
+    BITMASK_COLUMN,
+    SelectStatement,
+    Statement,
+    parse,
+    parse_query,
+    parse_select,
+)
+
+__all__ = [
+    "BITMASK_COLUMN",
+    "SelectStatement",
+    "Statement",
+    "Token",
+    "TokenType",
+    "format_aggregate",
+    "format_literal",
+    "format_predicate",
+    "format_query",
+    "format_select",
+    "format_statement",
+    "parse",
+    "parse_query",
+    "parse_select",
+    "tokenize",
+]

@@ -1,0 +1,184 @@
+"""Tokeniser for the supported SQL subset.
+
+The AQP middleware operates on SQL text: incoming analysis queries are
+parsed, rewritten against sample tables, and rendered back to SQL (the
+paper's Section 4.2.2 shows the rewritten UNION ALL with bitmask filters).
+This lexer covers exactly that subset: identifiers, numbers, single-quoted
+strings, comparison operators, ``&``, parentheses, commas, ``*``, and the
+keyword set of aggregation queries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "AND",
+    "OR",
+    "AS",
+    "IN",
+    "NOT",
+    "BETWEEN",
+    "UNION",
+    "ALL",
+    "HAVING",
+    "ORDER",
+    "LIMIT",
+    "ASC",
+    "DESC",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+}
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Attributes
+    ----------
+    type:
+        Token category.
+    value:
+        Normalised text: keywords upper-cased, identifiers as written,
+        numbers as written, strings without quotes (escapes resolved).
+    position:
+        Character offset of the token start in the source text.
+    """
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Whether this token is the given keyword."""
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        """Whether this token is the given symbol."""
+        return self.type is TokenType.SYMBOL and self.value == symbol
+
+
+_TWO_CHAR_SYMBOLS = ("<=", ">=", "<>", "!=")
+_ONE_CHAR_SYMBOLS = "(),*&=<>."
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenise SQL text.
+
+    Raises
+    ------
+    SQLSyntaxError
+        On unterminated strings or unexpected characters; the exception
+        carries the character position of the problem.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise SQLSyntaxError("unterminated comment", position=i)
+            i = end + 2
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'":
+            value, i = _read_string(text, i)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        is_negative_number = (
+            ch == "-"
+            and i + 1 < n
+            and (text[i + 1].isdigit() or text[i + 1] == ".")
+        )
+        if (
+            ch.isdigit()
+            or (ch == "." and i + 1 < n and text[i + 1].isdigit())
+            or is_negative_number
+        ):
+            start = i
+            i += 1
+            while i < n and (text[i].isdigit() or text[i] == "."):
+                i += 1
+            if i < n and text[i] in "eE":
+                j = i + 1
+                if j < n and text[j] in "+-":
+                    j += 1
+                if j < n and text[j].isdigit():
+                    i = j + 1
+                    while i < n and text[i].isdigit():
+                        i += 1
+            tokens.append(Token(TokenType.NUMBER, text[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        two = text[i : i + 2]
+        if two in _TWO_CHAR_SYMBOLS:
+            normalised = "<>" if two == "!=" else two
+            tokens.append(Token(TokenType.SYMBOL, normalised, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_SYMBOLS:
+            tokens.append(Token(TokenType.SYMBOL, ch, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", position=i)
+    tokens.append(Token(TokenType.END, "", n))
+    return tokens
+
+
+def _read_string(text: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string starting at ``start``; '' escapes a quote."""
+    i = start + 1
+    parts: list[str] = []
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SQLSyntaxError("unterminated string literal", position=start)

@@ -1,0 +1,398 @@
+"""Recursive-descent parser for the supported aggregation-query SQL subset.
+
+Grammar (keywords case-insensitive)::
+
+    statement    := select (UNION ALL select)*
+    select       := SELECT select_list FROM ident
+                    (WHERE predicate)? (GROUP BY ident_list)?
+                    (HAVING having_item (AND having_item)*)?
+                    (ORDER BY order_item (',' order_item)*)?
+                    (LIMIT number)?
+    having_item  := ident op number
+    order_item   := ident (ASC | DESC)?
+    select_list  := select_item (',' select_item)*
+    select_item  := ident
+                  | aggregate ('*' number)? (AS ident)?
+    aggregate    := COUNT '(' '*' ')'
+                  | (SUM|AVG|MIN|MAX) '(' ident ')'
+    predicate    := conjunct (AND conjunct)*
+    conjunct     := NOT conjunct
+                  | '(' predicate ')'
+                  | ident IN '(' literal (',' literal)* ')'
+                  | ident BETWEEN literal AND literal
+                  | ident op literal          -- op in = <> < <= > >=
+    literal      := number | string
+
+A filter of the form ``bitmask & <int> = 0`` (the paper's de-duplication
+filter) parses into :class:`BitmaskDisjoint`; the bit width of the mask is
+fixed later when the statement is bound to a sample set, so the parser
+stores the raw integer.
+
+The parser produces :class:`SelectStatement` objects wrapping the engine's
+:class:`~repro.engine.expressions.Query`, plus the optional scale factor
+from ``COUNT(*) * 100``-style expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.bitmask import Bitmask
+from repro.engine.expressions import (
+    AggFunc,
+    AggregateSpec,
+    Between,
+    BitmaskDisjoint,
+    Compare,
+    CompareOp,
+    Equals,
+    InSet,
+    Not,
+    Predicate,
+    Query,
+    conjoin,
+)
+from repro.errors import SQLSyntaxError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+#: Name of the hidden bitmask column in rewritten queries.
+BITMASK_COLUMN = "bitmask"
+
+#: Bit width used when parsing standalone bitmask filters.  Rewritten SQL
+#: stores the mask as an integer, so any width that fits suffices; the
+#: executor compares word-by-word and ignores unused high words.
+DEFAULT_BITMASK_BITS = 256
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """One SELECT block: an engine query plus an aggregate scale factor."""
+
+    query: Query
+    scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class Statement:
+    """A full statement: one or more SELECT blocks joined by UNION ALL."""
+
+    selects: tuple[SelectStatement, ...] = field(default_factory=tuple)
+
+    @property
+    def is_union(self) -> bool:
+        """Whether the statement has more than one branch."""
+        return len(self.selects) > 1
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise SQLSyntaxError(
+                f"expected {word}, found {token.value or 'end of input'!r}",
+                position=token.position,
+            )
+        return self._advance()
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        token = self._peek()
+        if not token.is_symbol(symbol):
+            raise SQLSyntaxError(
+                f"expected {symbol!r}, found {token.value or 'end of input'!r}",
+                position=token.position,
+            )
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.type is not TokenType.IDENT:
+            raise SQLSyntaxError(
+                f"expected identifier, found {token.value or 'end of input'!r}",
+                position=token.position,
+            )
+        return self._advance().value
+
+    # -- grammar -------------------------------------------------------
+    def statement(self) -> Statement:
+        """Parse ``select (UNION ALL select)*`` to end of input."""
+        selects = [self.select()]
+        while self._peek().is_keyword("UNION"):
+            self._advance()
+            self._expect_keyword("ALL")
+            selects.append(self.select())
+        end = self._peek()
+        if end.type is not TokenType.END:
+            raise SQLSyntaxError(
+                f"unexpected trailing input {end.value!r}", position=end.position
+            )
+        return Statement(tuple(selects))
+
+    def select(self) -> SelectStatement:
+        """Parse one SELECT block into a query + scale factor."""
+        self._expect_keyword("SELECT")
+        group_like: list[str] = []
+        aggregates: list[AggregateSpec] = []
+        scale = 1.0
+        while True:
+            item_scale = self._select_item(group_like, aggregates)
+            if item_scale is not None:
+                scale = item_scale
+            if self._peek().is_symbol(","):
+                self._advance()
+                continue
+            break
+        self._expect_keyword("FROM")
+        table = self._expect_ident()
+        where: Predicate | None = None
+        if self._peek().is_keyword("WHERE"):
+            self._advance()
+            where = self.predicate()
+        group_by: tuple[str, ...] = ()
+        if self._peek().is_keyword("GROUP"):
+            self._advance()
+            self._expect_keyword("BY")
+            names = [self._expect_ident()]
+            while self._peek().is_symbol(","):
+                self._advance()
+                names.append(self._expect_ident())
+            group_by = tuple(names)
+        having: list[tuple[str, CompareOp, float]] = []
+        if self._peek().is_keyword("HAVING"):
+            self._advance()
+            having.append(self._having_item())
+            while self._peek().is_keyword("AND"):
+                self._advance()
+                having.append(self._having_item())
+        order_by: list[tuple[str, bool]] = []
+        if self._peek().is_keyword("ORDER"):
+            self._advance()
+            self._expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self._peek().is_symbol(","):
+                self._advance()
+                order_by.append(self._order_item())
+        limit: int | None = None
+        if self._peek().is_keyword("LIMIT"):
+            self._advance()
+            number = self._peek()
+            if number.type is not TokenType.NUMBER:
+                raise SQLSyntaxError(
+                    "expected row count after LIMIT", position=number.position
+                )
+            limit = int(self._advance().value)
+        if not aggregates:
+            raise SQLSyntaxError("query computes no aggregate")
+        if group_like and set(group_like) != set(group_by):
+            raise SQLSyntaxError(
+                "non-aggregate SELECT columns must match the GROUP BY list: "
+                f"{group_like} vs {list(group_by)}"
+            )
+        query = Query(
+            table,
+            tuple(aggregates),
+            group_by,
+            where,
+            tuple(order_by),
+            limit,
+            tuple(having),
+        )
+        return SelectStatement(query, scale)
+
+    def _having_item(self) -> tuple[str, CompareOp, float]:
+        name = self._expect_ident()
+        op_token = self._peek()
+        if op_token.type is not TokenType.SYMBOL or op_token.value not in (
+            "=",
+            "<>",
+            "<",
+            "<=",
+            ">",
+            ">=",
+        ):
+            raise SQLSyntaxError(
+                "expected comparison operator in HAVING",
+                position=op_token.position,
+            )
+        op = CompareOp(self._advance().value)
+        number = self._peek()
+        if number.type is not TokenType.NUMBER:
+            raise SQLSyntaxError(
+                "HAVING compares an aggregate against a number",
+                position=number.position,
+            )
+        return (name, op, float(self._advance().value))
+
+    def _order_item(self) -> tuple[str, bool]:
+        name = self._expect_ident()
+        descending = False
+        if self._peek().is_keyword("DESC"):
+            self._advance()
+            descending = True
+        elif self._peek().is_keyword("ASC"):
+            self._advance()
+        return (name, descending)
+
+    def _select_item(
+        self, group_like: list[str], aggregates: list[AggregateSpec]
+    ) -> float | None:
+        token = self._peek()
+        if token.type is TokenType.IDENT:
+            group_like.append(self._advance().value)
+            return None
+        if token.type is TokenType.KEYWORD and token.value in (
+            "COUNT",
+            "SUM",
+            "AVG",
+            "MIN",
+            "MAX",
+        ):
+            func = AggFunc[self._advance().value]
+            self._expect_symbol("(")
+            if func is AggFunc.COUNT:
+                self._expect_symbol("*")
+                column = None
+            else:
+                column = self._expect_ident()
+            self._expect_symbol(")")
+            scale: float | None = None
+            if self._peek().is_symbol("*"):
+                self._advance()
+                number = self._peek()
+                if number.type is not TokenType.NUMBER:
+                    raise SQLSyntaxError(
+                        "expected number after '*'", position=number.position
+                    )
+                scale = float(self._advance().value)
+            alias = None
+            if self._peek().is_keyword("AS"):
+                self._advance()
+                alias = self._expect_ident()
+            aggregates.append(AggregateSpec(func, column, alias))
+            return scale
+        raise SQLSyntaxError(
+            f"expected column or aggregate, found {token.value or 'end'!r}",
+            position=token.position,
+        )
+
+    def predicate(self) -> Predicate:
+        """Parse a conjunction of predicate atoms."""
+        operands = [self._conjunct()]
+        while self._peek().is_keyword("AND"):
+            self._advance()
+            operands.append(self._conjunct())
+        combined = conjoin(operands)
+        assert combined is not None
+        return combined
+
+    def _conjunct(self) -> Predicate:
+        token = self._peek()
+        if token.is_keyword("NOT"):
+            self._advance()
+            return Not(self._conjunct())
+        if token.is_symbol("("):
+            self._advance()
+            inner = self.predicate()
+            self._expect_symbol(")")
+            return inner
+        column = self._expect_ident()
+        if column == BITMASK_COLUMN and self._peek().is_symbol("&"):
+            return self._bitmask_filter()
+        nxt = self._peek()
+        if nxt.is_keyword("IN"):
+            self._advance()
+            self._expect_symbol("(")
+            values = [self._literal()]
+            while self._peek().is_symbol(","):
+                self._advance()
+                values.append(self._literal())
+            self._expect_symbol(")")
+            return InSet(column, values)
+        if nxt.is_keyword("BETWEEN"):
+            self._advance()
+            low = self._literal()
+            self._expect_keyword("AND")
+            high = self._literal()
+            return Between(column, low, high)
+        if nxt.type is TokenType.SYMBOL and nxt.value in ("=", "<>", "<", "<=", ">", ">="):
+            op = CompareOp(self._advance().value)
+            value = self._literal()
+            if op is CompareOp.EQ:
+                return Equals(column, value)
+            return Compare(column, op, value)
+        raise SQLSyntaxError(
+            f"expected predicate operator after {column!r}", position=nxt.position
+        )
+
+    def _bitmask_filter(self) -> Predicate:
+        self._expect_symbol("&")
+        number = self._peek()
+        if number.type is not TokenType.NUMBER:
+            raise SQLSyntaxError(
+                "expected mask integer after '&'", position=number.position
+            )
+        mask_value = int(self._advance().value)
+        self._expect_symbol("=")
+        zero = self._peek()
+        if zero.type is not TokenType.NUMBER or float(zero.value) != 0.0:
+            raise SQLSyntaxError(
+                "bitmask filters must compare against 0", position=zero.position
+            )
+        self._advance()
+        n_bits = max(DEFAULT_BITMASK_BITS, mask_value.bit_length())
+        return BitmaskDisjoint(Bitmask.from_int(n_bits, mask_value))
+
+    def _literal(self) -> object:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.value
+            if any(c in text for c in ".eE"):
+                return float(text)
+            return int(text)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return token.value
+        raise SQLSyntaxError(
+            f"expected literal, found {token.value or 'end'!r}",
+            position=token.position,
+        )
+
+
+def parse(sql: str) -> Statement:
+    """Parse SQL text into a :class:`Statement`."""
+    return _Parser(tokenize(sql)).statement()
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse SQL expected to contain exactly one SELECT block.
+
+    Raises
+    ------
+    SQLSyntaxError
+        If the text is a UNION ALL of several blocks.
+    """
+    statement = parse(sql)
+    if statement.is_union:
+        raise SQLSyntaxError("expected a single SELECT, found a UNION ALL")
+    return statement.selects[0]
+
+
+def parse_query(sql: str) -> Query:
+    """Parse a single SELECT and return the engine query (scale must be 1)."""
+    select = parse_select(sql)
+    if select.scale != 1.0:
+        raise SQLSyntaxError("scaled aggregates are only valid in rewritten SQL")
+    return select.query

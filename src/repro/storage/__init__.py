@@ -1,0 +1,19 @@
+"""Persistence: tables and databases as on-disk files."""
+
+from repro.storage.io import (
+    FORMAT_VERSION,
+    StorageError,
+    load_database,
+    load_table,
+    save_database,
+    save_table,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "StorageError",
+    "load_database",
+    "load_table",
+    "save_database",
+    "save_table",
+]

@@ -1,0 +1,12 @@
+"""Random query workloads per the paper's Section 5.2.3."""
+
+from repro.workload.generator import eligible_grouping_columns, generate_workload
+from repro.workload.spec import Workload, WorkloadConfig, WorkloadQuery
+
+__all__ = [
+    "Workload",
+    "WorkloadConfig",
+    "WorkloadQuery",
+    "eligible_grouping_columns",
+    "generate_workload",
+]

@@ -1,0 +1,126 @@
+"""Random query workload generation (Section 5.2.3).
+
+Grouping columns are chosen uniformly at random from the categorical
+columns of the (joined) database, excluding near-unique columns; selection
+predicates restrict a randomly chosen column to a random subset of its
+distinct values, the subset sized between 0.05 and 0.3 of the domain; SUM
+queries aggregate a randomly chosen measure column.  Twenty queries are
+generated per parameter combination by default, matching the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.column import ColumnKind
+from repro.engine.database import Database
+from repro.engine.expressions import (
+    AggFunc,
+    AggregateSpec,
+    InSet,
+    Query,
+    conjoin,
+)
+from repro.engine.reservoir import as_generator
+from repro.engine.table import Table
+from repro.errors import WorkloadError
+from repro.workload.spec import Workload, WorkloadConfig, WorkloadQuery
+
+
+def eligible_grouping_columns(
+    view: Table, config: WorkloadConfig
+) -> list[str]:
+    """Categorical columns usable for grouping and predicates.
+
+    Excludes configured columns and columns whose distinct count exceeds
+    ``config.max_grouping_distinct`` (near-unique columns).
+    """
+    excluded = set(config.exclude_columns)
+    out = []
+    for name in view.column_names:
+        if name in excluded:
+            continue
+        col = view.column(name)
+        if col.kind is not ColumnKind.STRING:
+            continue
+        if col.distinct_count() > config.max_grouping_distinct:
+            continue
+        out.append(name)
+    return out
+
+
+def generate_workload(db: Database, config: WorkloadConfig) -> Workload:
+    """Generate a workload against ``db`` following the paper's recipe."""
+    view = db.joined_view()
+    columns = eligible_grouping_columns(view, config)
+    max_g = max(config.group_column_counts)
+    if len(columns) < max_g + max(config.predicate_counts):
+        raise WorkloadError(
+            f"database exposes only {len(columns)} eligible columns; "
+            f"cannot generate queries with {max_g} grouping columns"
+        )
+    domains = {
+        name: sorted(view.column(name).value_counts()) for name in columns
+    }
+    rng = as_generator(config.seed)
+    fact_name = db.fact_table.name
+    queries: list[WorkloadQuery] = []
+    index = 0
+    for g in config.group_column_counts:
+        for n_predicates in config.predicate_counts:
+            for fraction in config.subset_fractions:
+                for _ in range(config.queries_per_combo):
+                    queries.append(
+                        _generate_one(
+                            rng,
+                            fact_name,
+                            columns,
+                            domains,
+                            config,
+                            g,
+                            n_predicates,
+                            fraction,
+                            index,
+                        )
+                    )
+                    index += 1
+    return Workload(config=config, queries=tuple(queries))
+
+
+def _generate_one(
+    rng: np.random.Generator,
+    fact_name: str,
+    columns: list[str],
+    domains: dict[str, list],
+    config: WorkloadConfig,
+    g: int,
+    n_predicates: int,
+    fraction: float,
+    index: int,
+) -> WorkloadQuery:
+    chosen = rng.choice(len(columns), size=g + n_predicates, replace=False)
+    group_by = tuple(columns[i] for i in chosen[:g])
+    predicates = []
+    for i in chosen[g:]:
+        column = columns[i]
+        domain = domains[column]
+        subset_size = max(1, round(fraction * len(domain)))
+        picked = rng.choice(len(domain), size=min(subset_size, len(domain)), replace=False)
+        values = tuple(domain[j] for j in sorted(picked))
+        predicates.append(InSet(column, values))
+    if config.aggregate == "COUNT":
+        aggregates = (AggregateSpec(AggFunc.COUNT, alias="cnt"),)
+    else:
+        measure = config.measure_columns[
+            int(rng.integers(0, len(config.measure_columns)))
+        ]
+        aggregates = (AggregateSpec(AggFunc.SUM, measure, alias="total"),)
+    query = Query(fact_name, aggregates, group_by, conjoin(predicates))
+    return WorkloadQuery(
+        query=query,
+        n_group_columns=g,
+        n_predicates=n_predicates,
+        subset_fraction=fraction,
+        aggregate=config.aggregate,
+        index=index,
+    )

@@ -1,0 +1,120 @@
+"""Tests for the Theorem 4.1 analytical model, including a Monte Carlo
+cross-check of Equation 1."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.model import (
+    AnalysisScenario,
+    expected_sq_rel_err_small_group,
+    expected_sq_rel_err_uniform,
+    figure_3a_series,
+    figure_3b_series,
+    optimal_allocation_ratio,
+)
+from repro.errors import ExperimentError
+
+
+class TestScenario:
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            AnalysisScenario(n_group_columns=0)
+        with pytest.raises(ExperimentError):
+            AnalysisScenario(selectivity=0.0)
+        with pytest.raises(ExperimentError):
+            AnalysisScenario(budget_fraction=2.0)
+
+    def test_budget_rows(self):
+        scenario = AnalysisScenario(database_rows=1000, budget_fraction=0.02)
+        assert scenario.budget_rows == pytest.approx(20.0)
+
+
+class TestEquationOne:
+    def test_error_scales_inversely_with_sample_size(self):
+        scenario = AnalysisScenario()
+        half = expected_sq_rel_err_uniform(scenario, scenario.budget_rows / 2)
+        full = expected_sq_rel_err_uniform(scenario, scenario.budget_rows)
+        assert half == pytest.approx(2 * full)
+
+    def test_positive_sample_required(self):
+        with pytest.raises(ExperimentError):
+            expected_sq_rel_err_uniform(AnalysisScenario(), 0)
+
+    def test_matches_monte_carlo(self):
+        """Simulate Eq 1's setting and compare the expectation."""
+        c, z, g, sigma, n_db, s = 6, 1.2, 1, 1.0, 200000, 2000
+        scenario = AnalysisScenario(
+            n_group_columns=g,
+            selectivity=sigma,
+            n_distinct=c,
+            z=z,
+            database_rows=n_db,
+            budget_fraction=s / n_db,
+        )
+        predicted = expected_sq_rel_err_uniform(scenario)
+        from repro.datagen.zipf import ZipfDistribution
+
+        dist = ZipfDistribution(c, z)
+        rng = np.random.default_rng(0)
+        rate = s / n_db
+        trials = 400
+        errors = []
+        group_counts = (dist.pmf * n_db).round().astype(int)
+        for _ in range(trials):
+            total = 0.0
+            for true_count in group_counts:
+                sampled = rng.binomial(true_count, rate)
+                estimate = sampled / rate
+                total += ((true_count - estimate) / true_count) ** 2
+            errors.append(total / c)
+        assert np.mean(errors) == pytest.approx(predicted, rel=0.15)
+
+
+class TestEquationTwo:
+    def test_gamma_zero_equals_uniform(self):
+        scenario = AnalysisScenario()
+        assert expected_sq_rel_err_small_group(
+            scenario, 0.0
+        ) == pytest.approx(expected_sq_rel_err_uniform(scenario))
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ExperimentError):
+            expected_sq_rel_err_small_group(AnalysisScenario(), -0.5)
+
+    def test_small_groups_reduce_error_at_high_skew(self):
+        scenario = AnalysisScenario(z=2.2)
+        uniform = expected_sq_rel_err_uniform(scenario)
+        small = expected_sq_rel_err_small_group(scenario, 0.5)
+        assert small < uniform
+
+
+class TestFigure3:
+    def test_3a_shape(self):
+        """Dip below uniform with a shallow basin, as in Figure 3(a)."""
+        ratios, errors, uniform = figure_3a_series()
+        assert errors[0] == pytest.approx(uniform)
+        best = errors.min()
+        assert best < 0.85 * uniform
+        # The basin: all of gamma in [0.25, 1.0] within 25% of the best.
+        basin = [
+            e for g, e in zip(ratios, errors) if 0.25 <= g <= 1.0
+        ]
+        assert max(basin) < 1.35 * best
+
+    def test_3a_optimal_gamma_near_half(self):
+        gamma = optimal_allocation_ratio()
+        assert 0.2 <= gamma <= 1.0
+
+    def test_3b_crossover(self):
+        """Uniform wins at z=1.0; small group wins decisively at z=2.5."""
+        skews, small, uniform = figure_3b_series()
+        assert small[0] > uniform[0]
+        assert small[-1] < uniform[-1] / 10
+        # Exactly one crossover (sign change) across the sweep.
+        signs = np.sign(small - uniform)
+        changes = np.count_nonzero(np.diff(signs))
+        assert changes == 1
+
+    def test_3b_custom_skews(self):
+        skews, small, uniform = figure_3b_series(skews=np.array([1.0, 2.0]))
+        assert len(small) == len(uniform) == 2

@@ -1,0 +1,89 @@
+"""Tests for the generic dynamic sample selection pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.architecture import DynamicSampleSelection
+from repro.core.interfaces import SampleTableInfo
+from repro.core.rewriter import SamplePiece
+from repro.engine.expressions import AggFunc, AggregateSpec, Query
+from repro.engine.reservoir import uniform_sample_indices
+from repro.errors import RuntimePhaseError
+
+COUNT = AggregateSpec(AggFunc.COUNT, alias="cnt")
+
+
+class ToyPolicy(DynamicSampleSelection):
+    """Minimal concrete policy: one uniform sample, no metadata."""
+
+    name = "toy"
+
+    def __init__(self, rate=0.2):
+        super().__init__()
+        self.rate = rate
+        self.strata_seen = None
+
+    def select_strata(self, db, view):
+        self.strata_seen = view.n_rows
+        return {"n": view.n_rows}
+
+    def build_samples(self, db, view, strata):
+        k = max(1, round(self.rate * strata["n"]))
+        indices = uniform_sample_indices(strata["n"], k, rng=0)
+        table = view.take(indices).rename("toy_sample")
+        self._sample = table
+        self._actual_rate = k / strata["n"]
+        return [SampleTableInfo(table=table, kind="uniform", rate=self._actual_rate)]
+
+    def choose_samples(self, query):
+        scale = 1.0 / self._actual_rate
+        return [
+            SamplePiece(
+                table=self._sample,
+                query=query.with_table("toy_sample"),
+                scale=scale,
+                variance_weights=np.full(
+                    self._sample.n_rows, (1 - self._actual_rate) * scale**2
+                ),
+                counts_as_exact=False,
+            )
+        ]
+
+    def preprocess_details(self):
+        return {"note": "toy"}
+
+
+class TestPipeline:
+    def test_preprocess_runs_both_steps(self, flat_db):
+        policy = ToyPolicy()
+        report = policy.preprocess(flat_db)
+        assert policy.strata_seen == flat_db.fact_table.n_rows
+        assert report.technique == "toy"
+        assert report.details == {"note": "toy"}
+        assert report.n_sample_tables == 1
+        assert report.wall_time_seconds >= 0
+
+    def test_answer_before_preprocess_rejected(self, flat_db):
+        with pytest.raises(RuntimePhaseError):
+            ToyPolicy().answer(Query("flat", (COUNT,)))
+
+    def test_answer_combines_pieces(self, flat_db):
+        policy = ToyPolicy()
+        policy.preprocess(flat_db)
+        answer = policy.answer(Query("flat", (COUNT,)))
+        n = flat_db.fact_table.n_rows
+        assert answer.value(()) == pytest.approx(n, rel=0.05)
+        assert answer.technique == "toy"
+
+    def test_sample_tables_listed(self, flat_db):
+        policy = ToyPolicy()
+        policy.preprocess(flat_db)
+        infos = policy.sample_tables()
+        assert len(infos) == 1
+        assert infos[0].kind == "uniform"
+
+    def test_rows_for_query_default(self, flat_db):
+        policy = ToyPolicy()
+        policy.preprocess(flat_db)
+        rows = policy.rows_for_query(Query("flat", (COUNT,)))
+        assert rows == policy.sample_tables()[0].n_rows

@@ -1,0 +1,137 @@
+"""Unit and property tests for multi-word bitmasks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.bitmask import Bitmask, BitmaskVector
+
+
+class TestBitmask:
+    def test_set_and_test(self):
+        mask = Bitmask(10)
+        mask.set(3)
+        assert mask.test(3)
+        assert not mask.test(4)
+
+    def test_bits_sorted(self):
+        mask = Bitmask(200, [150, 3, 70])
+        assert mask.bits() == [3, 70, 150]
+
+    def test_out_of_range(self):
+        mask = Bitmask(8)
+        with pytest.raises(ValueError):
+            mask.set(8)
+        with pytest.raises(ValueError):
+            mask.test(-1)
+
+    def test_to_int_matches_python_int(self):
+        mask = Bitmask(130, [0, 64, 129])
+        assert mask.to_int() == (1 << 0) | (1 << 64) | (1 << 129)
+
+    def test_from_int_roundtrip(self):
+        value = (1 << 5) | (1 << 77)
+        mask = Bitmask.from_int(100, value)
+        assert mask.to_int() == value
+        assert mask.bits() == [5, 77]
+
+    def test_is_zero(self):
+        assert Bitmask(5).is_zero()
+        assert not Bitmask(5, [0]).is_zero()
+
+    def test_equality_and_hash(self):
+        a = Bitmask(70, [69])
+        b = Bitmask(70, [69])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Bitmask(70, [68])
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=199), max_size=12),
+    )
+    def test_roundtrip_property(self, bits):
+        mask = Bitmask(200, bits)
+        assert set(mask.bits()) == bits
+        assert Bitmask.from_int(200, mask.to_int()) == mask
+
+
+class TestBitmaskVector:
+    def test_set_bit_and_disjoint(self):
+        vec = BitmaskVector(4, 70)
+        vec.set_bit(np.array([0, 2]), 65)
+        keep = vec.isdisjoint(Bitmask(70, [65]))
+        assert keep.tolist() == [False, True, False, True]
+
+    def test_disjoint_zero_mask_keeps_all(self):
+        vec = BitmaskVector(3, 10)
+        vec.set_bit(np.array([1]), 2)
+        assert vec.isdisjoint(Bitmask(10)).all()
+
+    def test_width_flexible_disjoint(self):
+        vec = BitmaskVector(2, 10)
+        vec.set_bit(np.array([0]), 3)
+        # Wider mask: bits beyond the vector's width can never overlap.
+        wide = Bitmask(200, [3, 190])
+        assert vec.isdisjoint(wide).tolist() == [False, True]
+        only_high = Bitmask(200, [190])
+        assert vec.isdisjoint(only_high).all()
+        # Narrower mask: implicitly zero-padded.
+        vec128 = BitmaskVector(2, 128)
+        vec128.set_bit(np.array([1]), 2)
+        assert vec128.isdisjoint(Bitmask(10, [2])).tolist() == [True, False]
+
+    def test_row_mask(self):
+        vec = BitmaskVector(2, 130)
+        vec.set_bit(np.array([1]), 128)
+        assert vec.row_mask(1).bits() == [128]
+        assert vec.row_mask(0).is_zero()
+
+    def test_take(self):
+        vec = BitmaskVector(3, 8)
+        vec.set_bit(np.array([2]), 7)
+        taken = vec.take(np.array([2, 0]))
+        assert len(taken) == 2
+        assert taken.row_mask(0).bits() == [7]
+        assert taken.row_mask(1).is_zero()
+
+    def test_concat(self):
+        a = BitmaskVector(1, 8)
+        b = BitmaskVector(2, 8)
+        b.set_bit(np.array([1]), 3)
+        merged = a.concat(b)
+        assert len(merged) == 3
+        assert merged.row_mask(2).bits() == [3]
+
+    def test_concat_width_mismatch(self):
+        with pytest.raises(ValueError):
+            BitmaskVector(1, 8).concat(BitmaskVector(1, 9))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BitmaskVector(2, 8, words=np.zeros((3, 1), dtype=np.uint64))
+
+    def test_out_of_range_bit(self):
+        vec = BitmaskVector(1, 8)
+        with pytest.raises(ValueError):
+            vec.set_bit(np.array([0]), 8)
+
+    @given(
+        st.lists(
+            st.sets(st.integers(min_value=0, max_value=127), max_size=6),
+            min_size=1,
+            max_size=8,
+        ),
+        st.sets(st.integers(min_value=0, max_value=127), max_size=6),
+    )
+    def test_disjoint_matches_python_ints(self, row_bits, mask_bits):
+        vec = BitmaskVector(len(row_bits), 128)
+        for row, bits in enumerate(row_bits):
+            for bit in bits:
+                vec.set_bit(np.array([row]), bit)
+        mask = Bitmask(128, mask_bits)
+        expected = [not (bits & mask_bits) for bits in row_bits]
+        assert vec.isdisjoint(mask).tolist() == expected
+        # to_ints agrees with the python-int model too
+        assert vec.to_ints() == [
+            sum(1 << b for b in bits) for bits in row_bits
+        ]

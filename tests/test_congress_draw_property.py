@@ -1,0 +1,63 @@
+"""Property tests for the stratified per-stratum draw used by congress."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.congress import BasicCongress
+from repro.engine.column import Column
+from repro.engine.table import Table
+
+
+@st.composite
+def strata_setup(draw):
+    n_strata = draw(st.integers(min_value=1, max_value=6))
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=25),
+            min_size=n_strata,
+            max_size=n_strata,
+        )
+    )
+    strata = np.repeat(np.arange(n_strata), sizes)
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    rng.shuffle(strata)
+    targets = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+            min_size=n_strata,
+            max_size=n_strata,
+        )
+    )
+    return strata, np.asarray(sizes, dtype=np.float64), np.asarray(targets)
+
+
+@given(setup=strata_setup(), seed=st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_draw_respects_strata_and_weights(setup, seed):
+    strata, sizes, targets = setup
+    table = Table("t", {"row": Column.ints(np.arange(strata.size))})
+    rng = np.random.default_rng(seed)
+    sample = BasicCongress._draw(table, strata, sizes, targets, rng, 0.1)
+
+    chosen_rows = np.asarray(
+        sample.table.column("row").to_list(), dtype=np.int64
+    )
+    # No duplicates: sampling without replacement.
+    assert len(set(chosen_rows.tolist())) == len(chosen_rows)
+    chosen_strata = strata[chosen_rows]
+    counts = np.bincount(chosen_strata, minlength=len(sizes))
+    for s, count in enumerate(counts):
+        # Never more than the stratum holds, never more than target + 1
+        # (randomised rounding adds at most one row).
+        assert count <= sizes[s]
+        assert count <= int(np.floor(targets[s])) + 1
+    # Horvitz-Thompson weights: each sampled row's weight times the
+    # stratum's sampled count reconstructs the stratum size exactly.
+    for weight, s in zip(sample.weights, chosen_strata):
+        assert weight * counts[s] == sizes[s]
+    # Variance weights are the finite-population Bernoulli form.
+    for vw, weight, s in zip(
+        sample.variance_weights, sample.weights, chosen_strata
+    ):
+        inclusion = counts[s] / sizes[s]
+        assert vw == (1.0 - inclusion) * weight * weight

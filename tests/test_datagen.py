@@ -1,0 +1,149 @@
+"""Tests for the TPC-H, SALES, and flat-table generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.sales import (
+    SALES_MEASURE_COLUMNS,
+    SalesConfig,
+    generate_sales,
+)
+from repro.datagen.synthetic import (
+    CategoricalSpec,
+    MeasureSpec,
+    categorical_values,
+    example_3_1,
+    generate_flat_table,
+)
+from repro.datagen.tpch import (
+    TPCH_MEASURE_COLUMNS,
+    TPCHConfig,
+    generate_tpch,
+)
+from repro.engine.column import ColumnKind
+
+
+class TestTPCH:
+    def test_naming_convention(self):
+        assert TPCHConfig(scale=1, z=2.0).name == "TPCH1G2.0z"
+        assert TPCHConfig(scale=5, z=1.5).name == "TPCH5G1.5z"
+        assert TPCHConfig(scale=0.5, z=1.0).name == "TPCH0.5G1.0z"
+
+    def test_scale_controls_rows(self):
+        small = generate_tpch(scale=1.0, rows_per_scale=2000)
+        large = generate_tpch(scale=2.0, rows_per_scale=2000)
+        assert large.fact_table.n_rows == 2 * small.fact_table.n_rows
+
+    def test_star_schema_joins_resolve(self, tiny_tpch):
+        view = tiny_tpch.joined_view()
+        assert view.n_rows == tiny_tpch.fact_table.n_rows
+
+    def test_foreign_keys_valid(self, tiny_tpch):
+        fact = tiny_tpch.fact_table
+        for fk in tiny_tpch.star_schema.foreign_keys:
+            dim = tiny_tpch.table(fk.dimension_table)
+            keys = set(dim.column(fk.dimension_key).to_list())
+            fact_keys = set(fact.column(fk.fact_column).to_list())
+            assert fact_keys <= keys
+
+    def test_measure_columns_exist_and_numeric(self, tiny_tpch):
+        fact = tiny_tpch.fact_table
+        for measure in TPCH_MEASURE_COLUMNS:
+            assert fact.column(measure).is_numeric
+
+    def test_deterministic(self):
+        a = generate_tpch(scale=1.0, rows_per_scale=1000, seed=3)
+        b = generate_tpch(scale=1.0, rows_per_scale=1000, seed=3)
+        assert a.fact_table.column("l_shipmode").to_list() == b.fact_table.column(
+            "l_shipmode"
+        ).to_list()
+
+    def test_skew_ordering(self):
+        def top_share(db, column):
+            counts = db.fact_table.column(column).value_counts()
+            return max(counts.values()) / db.fact_table.n_rows
+
+        low = generate_tpch(scale=1.0, z=1.0, rows_per_scale=5000, seed=1)
+        high = generate_tpch(scale=1.0, z=2.5, rows_per_scale=5000, seed=1)
+        assert top_share(high, "l_shipmode") > top_share(low, "l_shipmode")
+
+    def test_fact_rows_floor(self):
+        assert TPCHConfig(scale=0.0001).fact_rows >= 100
+
+
+class TestSales:
+    def test_six_dimensions(self, tiny_sales):
+        assert len(tiny_sales.star_schema.foreign_keys) == 6
+
+    def test_joined_view_width(self, tiny_sales):
+        view = tiny_sales.joined_view()
+        # Wide, many-column schema: fact + 6 dims worth of attributes.
+        assert len(view.column_names) >= 30
+
+    def test_foreign_keys_valid(self, tiny_sales):
+        fact = tiny_sales.fact_table
+        for fk in tiny_sales.star_schema.foreign_keys:
+            dim = tiny_sales.table(fk.dimension_table)
+            keys = set(dim.column(fk.dimension_key).to_list())
+            assert set(fact.column(fk.fact_column).to_list()) <= keys
+
+    def test_measures(self, tiny_sales):
+        for measure in SALES_MEASURE_COLUMNS:
+            assert tiny_sales.fact_table.column(measure).is_numeric
+
+    def test_moderate_skew_below_tpch2(self):
+        sales = generate_sales(scale=0.2, seed=5)
+        tpch = generate_tpch(scale=1.0, z=2.0, rows_per_scale=8000, seed=5)
+
+        def top_share(table, column):
+            counts = table.column(column).value_counts()
+            return max(counts.values()) / len(table.column(column).data)
+
+        assert top_share(sales.fact_table, "s_payment") < top_share(
+            tpch.fact_table, "l_shipmode"
+        )
+
+    def test_config_rows(self):
+        assert SalesConfig(scale=1.0).fact_rows == 40000
+        assert SalesConfig(scale=0.001).fact_rows == 200
+
+
+class TestSynthetic:
+    def test_flat_table_shapes(self):
+        table = generate_flat_table(
+            "t",
+            500,
+            categoricals=[CategoricalSpec("c", 10, 1.0)],
+            measures=[MeasureSpec("m", distribution="uniform", low=0, high=1)],
+            seed=0,
+        )
+        assert table.n_rows == 500
+        assert table.column("c").kind is ColumnKind.STRING
+        values = np.asarray(table.column("m").numeric_values())
+        assert values.min() >= 0 and values.max() <= 1
+
+    def test_zipf_int_measure(self):
+        table = generate_flat_table(
+            "t",
+            100,
+            categoricals=[],
+            measures=[MeasureSpec("q", distribution="zipf_int", high=5, z=1.0)],
+        )
+        q = table.column("q").to_list()
+        assert min(q) >= 1 and max(q) <= 5
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            generate_flat_table(
+                "t", 10, [], [MeasureSpec("m", distribution="nope")]
+            )
+
+    def test_categorical_values_labels(self):
+        labels = categorical_values("col", 3)
+        assert labels == ["col_000", "col_001", "col_002"]
+        assert len(set(categorical_values("c", 2000))) == 2000
+
+    def test_example_3_1(self):
+        table = example_3_1()
+        counts = table.column("Product").value_counts()
+        assert counts == {"Stereo": 90, "TV": 10}

@@ -1,0 +1,98 @@
+"""Property-based tests: the vectorised executor equals a reference."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.executor import aggregate_table, dense_ids
+from repro.engine.expressions import AggFunc, AggregateSpec, InSet, Query
+from repro.engine.table import Table
+
+from tests.test_executor import reference_aggregate
+
+LETTERS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def random_table(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    g1 = draw(st.lists(st.sampled_from(LETTERS), min_size=n, max_size=n))
+    g2 = draw(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=n, max_size=n)
+    )
+    v = draw(
+        st.lists(
+            st.floats(
+                min_value=-1000, max_value=1000, allow_nan=False, width=32
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return Table.from_dict("t", {"g1": g1, "g2": g2, "v": [float(x) for x in v]})
+
+
+@given(
+    table=random_table(),
+    group_by=st.sampled_from([(), ("g1",), ("g2",), ("g1", "g2"), ("g2", "g1")]),
+    agg=st.sampled_from(
+        [
+            (AggregateSpec(AggFunc.COUNT, alias="cnt"),),
+            (AggregateSpec(AggFunc.SUM, "v", alias="s"),),
+            (
+                AggregateSpec(AggFunc.COUNT, alias="cnt"),
+                AggregateSpec(AggFunc.SUM, "v", alias="s"),
+            ),
+            (AggregateSpec(AggFunc.MIN, "v"), AggregateSpec(AggFunc.MAX, "v")),
+        ]
+    ),
+    predicate_values=st.sets(st.sampled_from(LETTERS), max_size=3),
+)
+@settings(max_examples=60, deadline=None)
+def test_aggregate_matches_reference(table, group_by, agg, predicate_values):
+    where = InSet("g1", sorted(predicate_values)) if predicate_values else None
+    query = Query("t", agg, group_by, where)
+    result = aggregate_table(table, query)
+    expected = reference_aggregate(table, query)
+    assert set(result.rows) == set(expected)
+    for key, values in expected.items():
+        got = result.rows[key]
+        assert len(got) == len(values)
+        for g, e in zip(got, values):
+            assert abs(g - e) <= 1e-6 * max(1.0, abs(e))
+
+
+@given(
+    table=random_table(),
+    weights=st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    scale=st.floats(min_value=0.1, max_value=200.0, allow_nan=False),
+)
+@settings(max_examples=30, deadline=None)
+def test_weighted_scaled_count(table, weights, scale):
+    n = table.n_rows
+    w = np.full(n, weights)
+    query = Query("t", (AggregateSpec(AggFunc.COUNT, alias="c"),), ("g1",))
+    result = aggregate_table(table, query, weights=w, scale=scale)
+    expected = reference_aggregate(table, query, weights=w.tolist(), scale=scale)
+    for key, values in expected.items():
+        assert result.rows[key][0] == np.float64(values[0]) or abs(
+            result.rows[key][0] - values[0]
+        ) <= 1e-9 * abs(values[0])
+
+
+@given(
+    columns=st.lists(
+        st.lists(st.integers(min_value=0, max_value=5), min_size=5, max_size=5),
+        min_size=1,
+        max_size=4,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_dense_ids_equals_tuple_grouping(columns):
+    arrays = [np.asarray(c) for c in columns]
+    ids, n_groups = dense_ids(arrays)
+    tuples = list(zip(*(a.tolist() for a in arrays)))
+    # Same partition: two rows share an id iff they share a tuple.
+    for i in range(len(tuples)):
+        for j in range(len(tuples)):
+            assert (ids[i] == ids[j]) == (tuples[i] == tuples[j])
+    assert n_groups == len(set(tuples))

@@ -1,0 +1,108 @@
+"""Smoke tests: every figure runner works at a tiny scale."""
+
+import math
+
+import pytest
+
+from repro.experiments.figures import (
+    run_figure3a,
+    run_figure3b,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_table_outlier,
+    run_table_preprocessing,
+)
+
+
+def assert_finite_series(run, expected_keys=None):
+    assert run.series
+    if expected_keys is not None:
+        assert set(run.series) >= set(expected_keys)
+    for name, data in run.series.items():
+        assert data, name
+        for value in data.values():
+            assert isinstance(value, float)
+            assert math.isfinite(value)
+
+
+class TestAnalyticalFigures:
+    def test_fig3a(self):
+        run = run_figure3a()
+        assert_finite_series(run, ["small_group/sq_rel_err"])
+        assert run.extras["uniform"] > 0
+
+    def test_fig3b(self):
+        run = run_figure3b()
+        assert_finite_series(
+            run, ["small_group/sq_rel_err", "uniform/sq_rel_err"]
+        )
+
+
+class TestEmpiricalFigures:
+    def test_fig4(self):
+        run = run_figure4(rows_per_scale=4000, queries_per_combo=1, seed=0)
+        assert_finite_series(
+            run, ["small_group/rel_err", "uniform/pct_groups"]
+        )
+        assert set(run.series["small_group/rel_err"]) == {1, 2, 3, 4}
+
+    def test_fig5(self):
+        run = run_figure5(sales_scale=0.1, queries_per_combo=1, seed=0)
+        assert_finite_series(run)
+        assert run.extras["database"] == "sales"
+
+    def test_fig5_tpch_variant(self):
+        run = run_figure5(
+            database="tpch", rows_per_scale=4000, queries_per_combo=1
+        )
+        assert run.extras["database"] == "tpch"
+        assert_finite_series(run)
+
+    def test_fig5_unknown_database(self):
+        with pytest.raises(ValueError):
+            run_figure5(database="nope")
+
+    def test_fig6(self):
+        run = run_figure6(
+            skews=(1.0, 2.0), rows_per_scale=4000, queries_per_combo=1
+        )
+        assert set(run.series["small_group/rel_err"]) == {1.0, 2.0}
+
+    def test_fig7(self):
+        run = run_figure7(
+            rates=(0.02, 0.08), rows_per_scale=4000, queries_per_combo=1
+        )
+        assert set(run.series["uniform/rel_err"]) == {0.02, 0.08}
+
+    def test_fig8(self):
+        run = run_figure8(sales_scale=0.1, queries_per_combo=1)
+        assert "basic_congress/rel_err" in run.series
+        assert run.extras["n_strata"] > 0
+
+    def test_table_outlier(self):
+        run = run_table_outlier(sales_scale=0.1, queries_per_combo=1)
+        assert "small_group+outlier/overall" in run.series
+        assert "outlier_index/overall" in run.series
+
+    def test_fig9(self):
+        run = run_figure9(
+            rows_per_scale=4000, scale=1.0, queries_per_combo=1
+        )
+        speedups = run.series["small_group/speedup"]
+        assert speedups
+        assert all(v > 0 for v in speedups.values())
+        assert run.extras["overall_speedup/small_group"] > 0
+
+    def test_table_preprocessing(self):
+        run = run_table_preprocessing(
+            rows_per_scale=4000, sales_scale=0.1, base_rates=(0.02,)
+        )
+        assert "small_group/space_overhead" in run.series
+        sg = run.series["small_group/space_overhead"]
+        uni = run.series["uniform/space_overhead"]
+        for key in sg:
+            assert sg[key] > uni[key]

@@ -1,0 +1,82 @@
+"""Tests for the Section 4.3 accuracy metrics."""
+
+import pytest
+
+from repro.metrics.error import pct_groups, rel_err, score, sq_rel_err
+
+
+EXACT = {("a",): 100.0, ("b",): 50.0, ("c",): 10.0}
+
+
+class TestPctGroups:
+    def test_perfect(self):
+        assert pct_groups(EXACT, EXACT) == 0.0
+
+    def test_one_missing(self):
+        approx = {("a",): 100.0, ("b",): 50.0}
+        assert pct_groups(EXACT, approx) == pytest.approx(100.0 / 3)
+
+    def test_all_missing(self):
+        assert pct_groups(EXACT, {}) == 100.0
+
+    def test_empty_exact(self):
+        assert pct_groups({}, {}) == 0.0
+
+    def test_spurious_groups_ignored(self):
+        approx = dict(EXACT)
+        approx[("zz",)] = 5.0
+        assert pct_groups(EXACT, approx) == 0.0
+
+
+class TestRelErr:
+    def test_perfect(self):
+        assert rel_err(EXACT, EXACT) == 0.0
+
+    def test_definition_4_2(self):
+        # One group missed (counts 100%), one off by 10%, one exact.
+        approx = {("a",): 110.0, ("b",): 50.0}
+        expected = (1.0 + 0.1 + 0.0) / 3
+        assert rel_err(EXACT, approx) == pytest.approx(expected)
+
+    def test_missed_groups_count_as_one(self):
+        assert rel_err(EXACT, {}) == pytest.approx(1.0)
+
+    def test_overestimate_and_underestimate_symmetric(self):
+        approx_hi = {("a",): 120.0, ("b",): 50.0, ("c",): 10.0}
+        approx_lo = {("a",): 80.0, ("b",): 50.0, ("c",): 10.0}
+        assert rel_err(EXACT, approx_hi) == pytest.approx(
+            rel_err(EXACT, approx_lo)
+        )
+
+    def test_zero_exact_value_skipped(self):
+        exact = {("a",): 0.0, ("b",): 10.0}
+        approx = {("a",): 5.0, ("b",): 10.0}
+        assert rel_err(exact, approx) == 0.0
+
+    def test_empty(self):
+        assert rel_err({}, {}) == 0.0
+
+
+class TestSqRelErr:
+    def test_definition_4_3(self):
+        approx = {("a",): 110.0, ("b",): 50.0}
+        expected = (1.0 + 0.01 + 0.0) / 3
+        assert sq_rel_err(EXACT, approx) == pytest.approx(expected)
+
+    def test_squares_penalise_large_errors_more(self):
+        small = {("a",): 110.0, ("b",): 50.0, ("c",): 10.0}
+        large = {("a",): 200.0, ("b",): 50.0, ("c",): 10.0}
+        ratio_rel = rel_err(EXACT, large) / rel_err(EXACT, small)
+        ratio_sq = sq_rel_err(EXACT, large) / sq_rel_err(EXACT, small)
+        assert ratio_sq > ratio_rel
+
+
+class TestScore:
+    def test_bundle(self):
+        approx = {("a",): 110.0, ("b",): 50.0}
+        accuracy = score(EXACT, approx)
+        assert accuracy.rel_err == pytest.approx(rel_err(EXACT, approx))
+        assert accuracy.pct_groups == pytest.approx(pct_groups(EXACT, approx))
+        assert accuracy.sq_rel_err == pytest.approx(sq_rel_err(EXACT, approx))
+        assert accuracy.n_exact_groups == 3
+        assert accuracy.n_approx_groups == 2

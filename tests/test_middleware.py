@@ -1,0 +1,107 @@
+"""Tests for the AQP middleware session."""
+
+import pytest
+
+from repro.core.smallgroup import SmallGroupConfig, SmallGroupSampling
+from repro.core.workload_policy import trim_columns
+from repro.errors import RuntimePhaseError
+from repro.middleware import AQPSession
+
+SQL_COUNT = (
+    "SELECT l_shipmode, COUNT(*) AS cnt FROM lineitem GROUP BY l_shipmode"
+)
+SQL_FILTERED = (
+    "SELECT p_brand, COUNT(*) AS cnt FROM lineitem "
+    "WHERE s_region IN ('s_region_000') GROUP BY p_brand"
+)
+
+
+@pytest.fixture()
+def session(tiny_tpch):
+    session = AQPSession(tiny_tpch)
+    session.install(
+        SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.05, use_reservoir=False)
+        )
+    )
+    return session
+
+
+class TestModes:
+    def test_approx_mode(self, session):
+        result = session.sql(SQL_COUNT)
+        assert result.approx is not None
+        assert result.exact is None
+        assert result.approx.n_groups > 0
+        assert result.approx_seconds > 0
+
+    def test_exact_mode_without_technique(self, tiny_tpch):
+        session = AQPSession(tiny_tpch)
+        result = session.sql(SQL_COUNT, mode="exact")
+        assert result.exact is not None
+        assert result.approx is None
+
+    def test_both_mode_speedup(self, session):
+        result = session.sql(SQL_COUNT, mode="both")
+        assert result.approx is not None and result.exact is not None
+        assert result.speedup > 0
+
+    def test_invalid_mode(self, session):
+        with pytest.raises(RuntimePhaseError):
+            session.sql(SQL_COUNT, mode="fast")
+
+    def test_approx_without_technique(self, tiny_tpch):
+        session = AQPSession(tiny_tpch)
+        with pytest.raises(RuntimePhaseError, match="install"):
+            session.sql(SQL_COUNT)
+
+    def test_install_reports(self, tiny_tpch):
+        session = AQPSession(tiny_tpch)
+        report = session.install(
+            SmallGroupSampling(
+                SmallGroupConfig(base_rate=0.05, use_reservoir=False)
+            )
+        )
+        assert report.sample_rows > 0
+        assert session.report is report
+
+
+class TestRendering:
+    def test_to_text_contains_groups_and_ci(self, session):
+        result = session.sql(SQL_COUNT, mode="both")
+        text = result.to_text()
+        assert "approximate answer" in text
+        assert "95% CI" in text
+        assert "speedup" in text
+
+    def test_explain_lists_pieces(self, session):
+        text = session.explain(SQL_FILTERED)
+        assert "pieces:" in text
+        assert "sg_overall" in text
+        assert "rewritten SQL" in text
+        assert "UNION ALL" in text or "SELECT" in text
+
+
+class TestWorkloadFeedback:
+    def test_log_grows(self, session):
+        assert session.query_count == 0
+        session.sql(SQL_COUNT)
+        session.sql(SQL_FILTERED)
+        assert session.query_count == 2
+
+    def test_observed_workload_feeds_trimming(self, session):
+        session.sql(SQL_COUNT)
+        session.sql(SQL_COUNT)
+        session.sql(SQL_FILTERED)
+        workload = session.observed_workload()
+        assert len(workload) == 3
+        columns = trim_columns(workload)
+        assert columns[0] == "l_shipmode"  # referenced twice
+        assert "p_brand" in columns
+
+    def test_workload_query_parameters(self, session):
+        session.sql(SQL_FILTERED)
+        wq = session.observed_workload().queries[0]
+        assert wq.n_group_columns == 1
+        assert wq.n_predicates == 1
+        assert wq.aggregate == "COUNT"

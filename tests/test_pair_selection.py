@@ -1,0 +1,136 @@
+"""Tests for automatic pair-column selection (§4.2.3)."""
+
+import pytest
+
+from repro.core.pair_selection import PairSuggestion, suggest_pair_columns
+from repro.core.smallgroup import SmallGroupConfig, SmallGroupSampling
+from repro.engine.executor import execute
+from repro.engine.expressions import AggFunc, AggregateSpec, Query
+from repro.errors import PreprocessingError
+
+COUNT = AggregateSpec(AggFunc.COUNT, alias="cnt")
+
+
+class TestValidation:
+    def test_fraction_bounds(self, flat_db):
+        with pytest.raises(PreprocessingError):
+            suggest_pair_columns(flat_db.joined_view(), 0.0)
+        with pytest.raises(PreprocessingError):
+            suggest_pair_columns(flat_db.joined_view(), 1.0)
+
+
+class TestSuggestions:
+    def test_returns_scored_pairs(self, flat_db):
+        suggestions = suggest_pair_columns(
+            flat_db.joined_view(), small_fraction=0.05
+        )
+        assert suggestions
+        for s in suggestions:
+            assert isinstance(s, PairSuggestion)
+            assert s.benefit_rows > 0
+            assert s.table_rows >= s.benefit_rows
+
+    def test_sorted_by_benefit(self, flat_db):
+        suggestions = suggest_pair_columns(
+            flat_db.joined_view(), small_fraction=0.05
+        )
+        benefits = [s.benefit_rows for s in suggestions]
+        assert benefits == sorted(benefits, reverse=True)
+
+    def test_max_pairs(self, flat_db):
+        suggestions = suggest_pair_columns(
+            flat_db.joined_view(), small_fraction=0.05, max_pairs=2
+        )
+        assert len(suggestions) <= 2
+
+    def test_candidate_restriction(self, flat_db):
+        suggestions = suggest_pair_columns(
+            flat_db.joined_view(),
+            small_fraction=0.05,
+            candidates=["color", "shape"],
+        )
+        for s in suggestions:
+            assert set(s.columns) <= {"color", "shape"}
+
+    def test_benefit_definition(self, flat_db):
+        """Benefit rows are individually common but jointly rare, so a
+        pair table covers groups the single-column tables cannot."""
+        view = flat_db.joined_view()
+        suggestions = suggest_pair_columns(
+            view, small_fraction=0.05, max_pairs=1
+        )
+        (best,) = suggestions
+        from repro.core.pair_selection import (
+            _pair_uncommon_mask,
+            _uncommon_mask,
+        )
+        from repro.engine.stats import collect_column_stats
+
+        stats = collect_column_stats(view, list(best.columns))
+        a, b = best.columns
+        pair_mask = _pair_uncommon_mask(view, a, b, 0.05)
+        single = _uncommon_mask(
+            view, a, stats[a].common_values(0.05)
+        ) | _uncommon_mask(view, b, stats[b].common_values(0.05))
+        assert int((pair_mask & ~single).sum()) == best.benefit_rows
+
+
+class TestIntegration:
+    def test_suggested_pairs_feed_small_group(self, flat_db):
+        view = flat_db.joined_view()
+        config_probe = SmallGroupConfig(base_rate=0.05)
+        suggestions = suggest_pair_columns(
+            view, config_probe.small_fraction * 2, max_pairs=1
+        )
+        if not suggestions:
+            pytest.skip("no beneficial pair at this scale")
+        technique = SmallGroupSampling(
+            SmallGroupConfig(
+                base_rate=0.05,
+                use_reservoir=False,
+                pair_columns=tuple(s.columns for s in suggestions),
+            )
+        )
+        technique.preprocess(flat_db)
+        pair_metas = [m for m in technique.metadata() if len(m.columns) == 2]
+        assert pair_metas
+        # Pair coverage yields exact groups on the pair query.
+        a, b = pair_metas[0].columns
+        query = Query("flat", (COUNT,), (a, b))
+        exact = execute(flat_db, query).as_dict()
+        answer = technique.answer(query)
+        assert answer.exact_groups()
+        for group in answer.exact_groups():
+            assert answer.value(group) == pytest.approx(exact[group])
+
+    def test_pair_coverage_beats_singles_on_joint_query(self, flat_db):
+        """Adding the suggested pair table reduces missed groups on the
+        pair's joint group-by versus singles-only."""
+        view = flat_db.joined_view()
+        t = SmallGroupConfig(base_rate=0.05).small_fraction * 2
+        suggestions = suggest_pair_columns(view, t, max_pairs=1)
+        if not suggestions:
+            pytest.skip("no beneficial pair at this scale")
+        (best,) = suggestions
+        query = Query("flat", (COUNT,), best.columns)
+        exact = execute(flat_db, query)
+        base = SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.05, use_reservoir=False, seed=3)
+        )
+        base.preprocess(flat_db)
+        with_pair = SmallGroupSampling(
+            SmallGroupConfig(
+                base_rate=0.05,
+                use_reservoir=False,
+                seed=3,
+                pair_columns=(best.columns,),
+            )
+        )
+        with_pair.preprocess(flat_db)
+        missed_base = exact.n_groups - len(
+            set(base.answer(query).as_dict()) & exact.groups()
+        )
+        missed_pair = exact.n_groups - len(
+            set(with_pair.answer(query).as_dict()) & exact.groups()
+        )
+        assert missed_pair <= missed_base

@@ -1,0 +1,87 @@
+"""Tests for model-driven parameter planning."""
+
+import pytest
+
+from repro.analysis.model import (
+    AnalysisScenario,
+    expected_sq_rel_err_small_group,
+)
+from repro.analysis.planner import Plan, plan_allocation_ratio, plan_budget
+from repro.errors import ExperimentError
+
+SCENARIO = AnalysisScenario(
+    n_group_columns=2,
+    selectivity=0.1,
+    n_distinct=50,
+    z=1.8,
+    database_rows=1_000_000,
+    budget_fraction=0.02,
+)
+
+
+class TestPlanAllocationRatio:
+    def test_matches_direct_minimum(self):
+        plan = plan_allocation_ratio(SCENARIO)
+        direct = min(
+            expected_sq_rel_err_small_group(SCENARIO, g / 20.0)
+            for g in range(0, 41)
+        )
+        assert plan.predicted_sq_rel_err == pytest.approx(direct)
+
+    def test_base_rate_consistent(self):
+        plan = plan_allocation_ratio(SCENARIO)
+        g = SCENARIO.n_group_columns
+        assert plan.base_rate == pytest.approx(
+            plan.budget_fraction / (1 + g * plan.allocation_ratio)
+        )
+
+    def test_uniform_optimal_at_low_skew(self):
+        flat = AnalysisScenario(
+            n_group_columns=2,
+            selectivity=0.1,
+            n_distinct=50,
+            z=0.5,
+            budget_fraction=0.02,
+        )
+        plan = plan_allocation_ratio(flat)
+        assert plan.allocation_ratio == 0.0
+
+    def test_nonzero_gamma_at_moderate_skew(self):
+        plan = plan_allocation_ratio(SCENARIO)
+        assert 0.2 <= plan.allocation_ratio <= 1.5
+
+
+class TestPlanBudget:
+    def test_meets_target(self):
+        current = plan_allocation_ratio(SCENARIO).predicted_sq_rel_err
+        target = current / 2.0
+        plan = plan_budget(SCENARIO, target)
+        assert plan.predicted_sq_rel_err <= target
+        assert plan.budget_fraction > SCENARIO.budget_fraction
+
+    def test_minimality(self):
+        current = plan_allocation_ratio(SCENARIO).predicted_sq_rel_err
+        target = current / 2.0
+        plan = plan_budget(SCENARIO, target, tolerance=1e-5)
+        # Slightly less budget must miss the target.
+        from dataclasses import replace
+
+        smaller = plan_allocation_ratio(
+            replace(SCENARIO, budget_fraction=plan.budget_fraction * 0.9)
+        )
+        assert smaller.predicted_sq_rel_err > target
+
+    def test_unreachable_target(self):
+        with pytest.raises(ExperimentError, match="budget"):
+            plan_budget(SCENARIO, 1e-12, max_budget_fraction=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            plan_budget(SCENARIO, 0.0)
+        with pytest.raises(ExperimentError):
+            plan_budget(SCENARIO, 0.1, max_budget_fraction=0.0)
+
+    def test_returns_plan(self):
+        plan = plan_budget(SCENARIO, 1.0)
+        assert isinstance(plan, Plan)
+        assert 0 < plan.base_rate <= plan.budget_fraction

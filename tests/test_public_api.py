@@ -1,0 +1,52 @@
+"""Sanity checks on the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.analysis",
+    "repro.baselines",
+    "repro.core",
+    "repro.datagen",
+    "repro.engine",
+    "repro.experiments",
+    "repro.metrics",
+    "repro.middleware",
+    "repro.sql",
+    "repro.storage",
+    "repro.workload",
+]
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_top_level_all_sorted():
+    assert list(repro.__all__) == sorted(repro.__all__)
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_all_resolves(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a docstring"
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.{name}"
+
+
+def test_no_accidental_pandas_or_duckdb_dependency():
+    """The substrate promise: nothing imports pandas or duckdb."""
+    import pathlib
+
+    for path in pathlib.Path(repro.__file__).parent.rglob("*.py"):
+        text = path.read_text()
+        assert "import pandas" not in text, path
+        assert "import duckdb" not in text, path

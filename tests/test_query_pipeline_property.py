@@ -1,0 +1,93 @@
+"""Property test: the full HAVING → ORDER BY → LIMIT pipeline matches a
+pure-Python reference on random tables."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.executor import aggregate_table
+from repro.engine.expressions import (
+    AggFunc,
+    AggregateSpec,
+    CompareOp,
+    Query,
+)
+from repro.engine.table import Table
+
+LETTERS = ["a", "b", "c", "d", "e"]
+COUNT = AggregateSpec(AggFunc.COUNT, alias="cnt")
+SUM_V = AggregateSpec(AggFunc.SUM, "v", alias="s")
+
+
+@st.composite
+def random_table(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    g = draw(st.lists(st.sampled_from(LETTERS), min_size=n, max_size=n))
+    v = draw(
+        st.lists(
+            st.integers(min_value=-50, max_value=50), min_size=n, max_size=n
+        )
+    )
+    return Table.from_dict("t", {"g": g, "v": [float(x) for x in v]})
+
+
+def reference_pipeline(table, query):
+    """Group, filter by HAVING, order, limit — row at a time."""
+    groups: dict = {}
+    for g, v in zip(table.column("g").to_list(), table.column("v").to_list()):
+        groups.setdefault((g,), []).append(v)
+    rows = {
+        key: (float(len(vs)), float(sum(vs))) for key, vs in groups.items()
+    }
+    names = ["cnt", "s"]
+    ops = {
+        CompareOp.GT: lambda a, b: a > b,
+        CompareOp.GE: lambda a, b: a >= b,
+        CompareOp.LT: lambda a, b: a < b,
+        CompareOp.LE: lambda a, b: a <= b,
+        CompareOp.EQ: lambda a, b: a == b,
+        CompareOp.NE: lambda a, b: a != b,
+    }
+    for name, op, threshold in query.having:
+        rows = {
+            key: values
+            for key, values in rows.items()
+            if ops[op](values[names.index(name)], threshold)
+        }
+    keys = list(rows)
+    for name, descending in reversed(query.order_by):
+        if name == "g":
+            keys.sort(key=lambda k: k[0], reverse=descending)
+        else:
+            keys.sort(
+                key=lambda k: rows[k][names.index(name)], reverse=descending
+            )
+    if query.limit is not None:
+        keys = keys[: query.limit]
+    return {key: rows[key] for key in keys}
+
+
+@given(
+    table=random_table(),
+    having_threshold=st.integers(min_value=0, max_value=6),
+    having_op=st.sampled_from([CompareOp.GE, CompareOp.LT, CompareOp.GT]),
+    order_name=st.sampled_from(["cnt", "s", "g"]),
+    descending=st.booleans(),
+    limit=st.one_of(st.none(), st.integers(min_value=1, max_value=4)),
+)
+@settings(max_examples=80, deadline=None)
+def test_pipeline_matches_reference(
+    table, having_threshold, having_op, order_name, descending, limit
+):
+    query = Query(
+        "t",
+        (COUNT, SUM_V),
+        ("g",),
+        having=(("cnt", having_op, float(having_threshold)),),
+        order_by=((order_name, descending), ("g", False)),
+        limit=limit,
+    )
+    result = aggregate_table(table, query)
+    expected = reference_pipeline(table, query)
+    assert list(result.rows) == list(expected)
+    for key, values in expected.items():
+        assert result.rows[key] == values

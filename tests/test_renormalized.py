@@ -1,0 +1,162 @@
+"""Tests for renormalized join synopses (§5.2.2's space optimisation)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hybrid import HybridConfig, SmallGroupWithOutlier
+from repro.core.smallgroup import SmallGroupConfig, SmallGroupSampling
+from repro.engine.executor import execute
+from repro.engine.expressions import AggFunc, AggregateSpec, InSet, Query
+from repro.errors import SamplingError
+
+COUNT = AggregateSpec(AggFunc.COUNT, alias="cnt")
+
+
+def build(db, storage, **overrides):
+    params = dict(
+        base_rate=0.05,
+        allocation_ratio=0.5,
+        use_reservoir=False,
+        seed=5,
+        storage=storage,
+    )
+    params.update(overrides)
+    technique = SmallGroupSampling(SmallGroupConfig(**params))
+    technique.preprocess(db)
+    return technique
+
+
+class TestConfig:
+    def test_storage_validated(self):
+        with pytest.raises(SamplingError):
+            SmallGroupConfig(storage="compressed")
+
+
+class TestStructure:
+    def test_sample_tables_keep_only_fact_columns(self, tiny_tpch):
+        technique = build(tiny_tpch, "renormalized")
+        fact_columns = set(tiny_tpch.fact_table.column_names)
+        for info in technique.sample_tables():
+            if info.kind == "dimension":
+                continue
+            assert set(info.table.column_names) <= fact_columns
+
+    def test_one_reduced_dim_per_dimension(self, tiny_tpch):
+        technique = build(tiny_tpch, "renormalized")
+        dims = [i for i in technique.sample_tables() if i.kind == "dimension"]
+        assert len(dims) == len(tiny_tpch.star_schema.foreign_keys)
+        for info in dims:
+            original = info.table.name.removeprefix("sg_dim_")
+            assert info.table.n_rows <= tiny_tpch.table(original).n_rows
+
+    def test_reduced_dims_cover_referenced_keys(self, tiny_tpch):
+        technique = build(tiny_tpch, "renormalized")
+        catalog = technique.sample_catalog()
+        for fk in tiny_tpch.star_schema.foreign_keys:
+            reduced = catalog.table(f"sg_dim_{fk.dimension_table}")
+            dim_keys = set(reduced.column(fk.dimension_key).to_list())
+            for info in technique.sample_tables():
+                if info.kind == "dimension":
+                    continue
+                referenced = set(info.table.column(fk.fact_column).to_list())
+                assert referenced <= dim_keys
+
+    def test_saves_space_vs_inline(self, tiny_tpch):
+        inline = build(tiny_tpch, "inline")
+        renorm = build(tiny_tpch, "renormalized")
+        inline_bytes = sum(
+            i.table.memory_bytes() for i in inline.sample_tables()
+        )
+        renorm_bytes = sum(
+            i.table.memory_bytes() for i in renorm.sample_tables()
+        )
+        assert renorm_bytes < inline_bytes
+
+    def test_single_table_database_unaffected(self, flat_db):
+        technique = build(flat_db, "renormalized")
+        dims = [i for i in technique.sample_tables() if i.kind == "dimension"]
+        assert not dims
+        answer = technique.answer(Query("flat", (COUNT,), ("color",)))
+        assert answer.n_groups > 0
+
+
+class TestAnswers:
+    def test_same_answers_as_inline_same_seed(self, tiny_tpch):
+        """Identical draws → identical answers: renormalization is purely
+        a storage-layout change."""
+        inline = build(tiny_tpch, "inline")
+        renorm = build(tiny_tpch, "renormalized")
+        query = Query(
+            "lineitem",
+            (COUNT,),
+            ("l_shipmode", "p_brand"),
+            where=InSet("o_custregion", ["o_custregion_000"]),
+        )
+        a = inline.answer(query)
+        b = renorm.answer(query)
+        assert a.as_dict() == pytest.approx(b.as_dict())
+        assert a.exact_groups() == b.exact_groups()
+
+    def test_exact_groups_correct(self, tiny_tpch):
+        technique = build(tiny_tpch, "renormalized")
+        query = Query("lineitem", (COUNT,), ("p_type", "s_region"))
+        exact = execute(tiny_tpch, query).as_dict()
+        answer = technique.answer(query)
+        assert answer.exact_groups()
+        for group in answer.exact_groups():
+            assert answer.value(group) == pytest.approx(exact[group])
+
+    def test_predicates_on_dimension_columns(self, tiny_tpch):
+        technique = build(tiny_tpch, "renormalized")
+        query = Query(
+            "lineitem",
+            (COUNT,),
+            ("l_shipmode",),
+            where=InSet("s_nation", ["s_nation_000", "s_nation_001"]),
+        )
+        answer = technique.answer(query)
+        exact = execute(tiny_tpch, query).as_dict()
+        # Unbiased-ish single-shot check: total within a loose band.
+        assert sum(answer.as_dict().values()) == pytest.approx(
+            sum(exact.values()), rel=0.5
+        )
+
+    def test_hybrid_renormalized(self, tiny_tpch):
+        technique = SmallGroupWithOutlier(
+            HybridConfig(
+                base_rate=0.05,
+                measure="l_extendedprice",
+                use_reservoir=False,
+                storage="renormalized",
+                seed=5,
+            )
+        )
+        technique.preprocess(tiny_tpch)
+        query = Query(
+            "lineitem",
+            (AggregateSpec(AggFunc.SUM, "l_extendedprice", alias="s"),),
+            ("p_brand",),
+        )
+        answer = technique.answer(query)
+        assert answer.n_groups > 0
+
+
+class TestMaintenance:
+    def test_insert_rows_renormalized(self, tiny_tpch):
+        technique = build(tiny_tpch, "renormalized")
+        view = tiny_tpch.joined_view()
+        batch = view.take(np.arange(200)).rename("batch")
+        before_dims = {
+            i.table.name: i.table.n_rows
+            for i in technique.sample_tables()
+            if i.kind == "dimension"
+        }
+        technique.insert_rows(batch)
+        # Answers still work after maintenance.
+        query = Query("lineitem", (COUNT,), ("p_brand",))
+        answer = technique.answer(query)
+        assert answer.n_groups > 0
+        # Reduced dims only grow.
+        for info in technique.sample_tables():
+            if info.kind == "dimension":
+                assert info.table.n_rows >= before_dims[info.table.name]

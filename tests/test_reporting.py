@@ -1,0 +1,83 @@
+"""Tests for the plain-text reporting helpers."""
+
+import csv
+
+from repro.experiments.reporting import (
+    ascii_chart,
+    format_table,
+    selectivity_bin_edges,
+    selectivity_bin_label,
+    write_csv,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1.0], ["b", 123.456]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        # Columns aligned: every row has the separator at the same offset.
+        offset = lines[0].index("value")
+        assert lines[2][offset - 2 : offset] == "  "
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [12345.6], [float("nan")], [0]])
+        assert "0.123" in text
+        assert "1.23e+04" in text
+        assert "nan" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        text = ascii_chart(
+            [1, 2, 3],
+            {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]},
+            width=20,
+            height=6,
+            title="demo",
+        )
+        assert "demo" in text
+        assert "*=up" in text
+        assert "o=down" in text
+        assert "*" in text
+
+    def test_log_scale(self):
+        text = ascii_chart(
+            [1, 2], {"s": [0.01, 100.0]}, log_y=True, width=10, height=4
+        )
+        assert "log10" in text
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart([], {"s": []})
+
+    def test_constant_series(self):
+        text = ascii_chart([1, 2], {"s": [5.0, 5.0]}, width=8, height=4)
+        assert "*" in text
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out" / "data.csv"
+        write_csv(path, ["x", "y"], [[1, 2.5], ["a", "b"]])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["x", "y"], ["1", "2.5"], ["a", "b"]]
+
+
+class TestSelectivityBins:
+    def test_edges_double(self):
+        edges = selectivity_bin_edges()
+        for a, b in zip(edges[1:], edges[2:]):
+            assert b == a * 2
+
+    def test_labels(self):
+        assert selectivity_bin_label(0.0001) == "0.00%-0.02%"
+        assert selectivity_bin_label(0.0003) == "0.02%-0.04%"
+        assert selectivity_bin_label(0.05) == ">=1.28%"

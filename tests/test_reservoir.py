@@ -1,0 +1,128 @@
+"""Tests for the sampling primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.reservoir import (
+    ReservoirSampler,
+    as_generator,
+    bernoulli_sample_indices,
+    uniform_sample_indices,
+    weighted_sample_indices,
+)
+from repro.errors import SamplingError
+
+
+class TestReservoir:
+    def test_fills_to_capacity(self):
+        sampler = ReservoirSampler(5, rng=0)
+        sampler.offer_many(range(100))
+        assert len(sampler.sample()) == 5
+        assert sampler.seen == 100
+
+    def test_short_stream_keeps_everything(self):
+        sampler = ReservoirSampler(10, rng=0)
+        sampler.offer_many(range(4))
+        assert sampler.sample().tolist() == [0, 1, 2, 3]
+
+    def test_zero_capacity(self):
+        sampler = ReservoirSampler(0, rng=0)
+        sampler.offer_many(range(10))
+        assert len(sampler.sample()) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(SamplingError):
+            ReservoirSampler(-1)
+
+    def test_sample_is_sorted_and_distinct(self):
+        sampler = ReservoirSampler(20, rng=3)
+        sampler.offer_many(range(200))
+        sample = sampler.sample()
+        assert (np.diff(sample) > 0).all()
+
+    def test_uniform_inclusion_probability(self):
+        # Every item should be included ~k/n of the time across trials.
+        n, k, trials = 20, 5, 3000
+        counts = np.zeros(n)
+        rng = np.random.default_rng(42)
+        for _ in range(trials):
+            sampler = ReservoirSampler(k, rng)
+            sampler.offer_many(range(n))
+            counts[sampler.sample()] += 1
+        freq = counts / trials
+        expected = k / n
+        assert abs(freq.mean() - expected) < 1e-9
+        # Each item within 4 standard errors of k/n.
+        se = np.sqrt(expected * (1 - expected) / trials)
+        assert (np.abs(freq - expected) < 4.5 * se).all()
+
+    def test_deterministic_with_seed(self):
+        def run():
+            s = ReservoirSampler(5, rng=7)
+            s.offer_many(range(50))
+            return s.sample().tolist()
+
+        assert run() == run()
+
+
+class TestUniformSample:
+    def test_size_and_bounds(self):
+        idx = uniform_sample_indices(100, 10, rng=0)
+        assert len(idx) == 10
+        assert idx.min() >= 0 and idx.max() < 100
+        assert (np.diff(idx) > 0).all()
+
+    def test_oversized_request_clamped(self):
+        assert len(uniform_sample_indices(5, 10, rng=0)) == 5
+
+    def test_zero(self):
+        assert len(uniform_sample_indices(5, 0, rng=0)) == 0
+        assert len(uniform_sample_indices(0, 5, rng=0)) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SamplingError):
+            uniform_sample_indices(-1, 3)
+        with pytest.raises(SamplingError):
+            uniform_sample_indices(3, -1)
+
+
+class TestBernoulli:
+    def test_rate_zero_and_one(self):
+        assert len(bernoulli_sample_indices(50, 0.0, rng=0)) == 0
+        assert len(bernoulli_sample_indices(50, 1.0, rng=0)) == 50
+
+    def test_rate_bounds(self):
+        with pytest.raises(SamplingError):
+            bernoulli_sample_indices(10, 1.5)
+
+    def test_expected_size(self):
+        rng = np.random.default_rng(1)
+        sizes = [
+            len(bernoulli_sample_indices(1000, 0.1, rng)) for _ in range(50)
+        ]
+        assert 80 < np.mean(sizes) < 120
+
+
+class TestWeighted:
+    def test_probability_bounds(self):
+        with pytest.raises(SamplingError):
+            weighted_sample_indices(np.array([0.5, 1.2]))
+
+    def test_certain_and_impossible(self):
+        idx = weighted_sample_indices(np.array([1.0, 0.0, 1.0]), rng=0)
+        assert idx.tolist() == [0, 2]
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_indices_within_range(self, seed):
+        probs = np.full(30, 0.3)
+        idx = weighted_sample_indices(probs, rng=seed)
+        assert ((idx >= 0) & (idx < 30)).all()
+
+
+def test_as_generator_passthrough():
+    gen = np.random.default_rng(0)
+    assert as_generator(gen) is gen
+    assert isinstance(as_generator(5), np.random.Generator)
+    assert isinstance(as_generator(None), np.random.Generator)

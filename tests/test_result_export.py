@@ -1,0 +1,102 @@
+"""Tests for materialising results/answers back into engine tables."""
+
+import pytest
+
+from repro.core.smallgroup import SmallGroupConfig, SmallGroupSampling
+from repro.engine.executor import aggregate_table
+from repro.engine.expressions import AggFunc, AggregateSpec, Query
+from repro.errors import QueryError, RuntimePhaseError
+from repro.sql import parse_query
+
+COUNT = AggregateSpec(AggFunc.COUNT, alias="cnt")
+
+
+class TestGroupedResultToTable:
+    def test_columns_and_values(self, small_table):
+        query = Query(
+            "t", (COUNT, AggregateSpec(AggFunc.SUM, "v", alias="total")), ("a",)
+        )
+        result = aggregate_table(small_table, query)
+        out = result.to_table("counts")
+        assert out.name == "counts"
+        assert out.column_names == ["a", "cnt", "total"]
+        assert out.n_rows == result.n_groups
+        for row_index in range(out.n_rows):
+            row = out.row(row_index)
+            assert result.rows[(row["a"],)] == (row["cnt"], row["total"])
+
+    def test_empty_result_rejected(self, small_table):
+        from repro.engine.expressions import Equals
+
+        query = Query("t", (COUNT,), ("a",), where=Equals("a", "nope"))
+        result = aggregate_table(small_table, query)
+        with pytest.raises(QueryError):
+            result.to_table()
+
+    def test_result_table_requeryable(self, small_table):
+        result = aggregate_table(small_table, Query("t", (COUNT,), ("a",)))
+        out = result.to_table()
+        requery = aggregate_table(
+            out, Query("result", (AggregateSpec(AggFunc.SUM, "cnt", alias="n"),))
+        )
+        assert requery.rows[()][0] == small_table.n_rows
+
+    def test_preserves_order(self, small_table):
+        query = Query(
+            "t", (COUNT,), ("a",), order_by=(("cnt", True), ("a", False))
+        )
+        result = aggregate_table(small_table, query)
+        out = result.to_table()
+        assert out.column("a").to_list() == [g[0] for g in result.rows]
+
+
+class TestApproxAnswerToTable:
+    @pytest.fixture(scope="class")
+    def answer(self, flat_db):
+        technique = SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.1, use_reservoir=False, seed=4)
+        )
+        technique.preprocess(flat_db)
+        return technique.answer(
+            parse_query(
+                "SELECT city, COUNT(*) AS cnt FROM flat GROUP BY city"
+            )
+        )
+
+    def test_schema(self, answer):
+        out = answer.to_table()
+        assert out.column_names == ["city", "cnt", "cnt_lo", "cnt_hi", "exact"]
+        assert out.n_rows == answer.n_groups
+
+    def test_values_and_bounds(self, answer):
+        out = answer.to_table()
+        for row_index in range(out.n_rows):
+            row = out.row(row_index)
+            group = (row["city"],)
+            estimate = answer.estimate(group)
+            assert row["cnt"] == estimate.value
+            assert row["cnt_lo"] <= row["cnt"] <= row["cnt_hi"]
+            assert bool(row["exact"]) == estimate.exact
+
+    def test_exact_rows_have_degenerate_intervals(self, answer):
+        out = answer.to_table()
+        for row_index in range(out.n_rows):
+            row = out.row(row_index)
+            if row["exact"]:
+                assert row["cnt_lo"] == row["cnt"] == row["cnt_hi"]
+
+    def test_persists_and_reloads(self, answer, tmp_path):
+        from repro.storage import load_table, save_table
+
+        out = answer.to_table("saved_answer")
+        loaded = load_table(save_table(out, tmp_path / "answer.npz"))
+        assert loaded.to_rows() == out.to_rows()
+
+    def test_empty_answer_rejected(self):
+        from repro.core.answer import ApproxAnswer
+
+        empty = ApproxAnswer(
+            group_columns=("g",), aggregate_names=("cnt",), groups={}
+        )
+        with pytest.raises(RuntimePhaseError):
+            empty.to_table()

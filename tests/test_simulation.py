@@ -1,0 +1,122 @@
+"""Tests for the Monte Carlo companion of the analytical model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.model import (
+    AnalysisScenario,
+    expected_sq_rel_err_small_group,
+    expected_sq_rel_err_uniform,
+)
+from repro.analysis.simulation import (
+    SimulationResult,
+    _expected_group_counts,
+    simulate_small_group_sq_rel_err,
+    simulate_uniform_sq_rel_err,
+)
+from repro.errors import ExperimentError
+
+# A dense scenario: every group cell is comfortably non-empty, so the
+# discrete simulation and the continuous closed form agree well.
+DENSE = AnalysisScenario(
+    n_group_columns=2,
+    selectivity=1.0,
+    n_distinct=8,
+    z=1.0,
+    database_rows=1_000_000,
+    budget_fraction=0.01,
+)
+
+
+def discrete_uniform_expectation(scenario, sample_rows=None) -> float:
+    """Exact E[SqRelErr] for the rounded cell counts under Bernoulli."""
+    counts = np.round(_expected_group_counts(scenario)).astype(np.int64)
+    counts = counts[counts > 0]
+    s = scenario.budget_rows if sample_rows is None else sample_rows
+    rate = s / scenario.database_rows
+    return float(np.mean((1.0 - rate) / (rate * counts)))
+
+
+class TestValidation:
+    def test_trials_positive(self):
+        with pytest.raises(ExperimentError):
+            simulate_uniform_sq_rel_err(DENSE, trials=0)
+
+    def test_negative_gamma(self):
+        with pytest.raises(ExperimentError):
+            simulate_small_group_sq_rel_err(DENSE, allocation_ratio=-1)
+
+    def test_cell_limit(self):
+        wide = AnalysisScenario(
+            n_group_columns=4, n_distinct=50, selectivity=1.0
+        )
+        with pytest.raises(ExperimentError, match="cells"):
+            simulate_uniform_sq_rel_err(wide, max_cells=100)
+
+
+class TestUniformSimulation:
+    def test_matches_discrete_expectation(self):
+        result = simulate_uniform_sq_rel_err(DENSE, trials=300, rng=0)
+        assert result.agrees_with(discrete_uniform_expectation(DENSE))
+
+    def test_matches_closed_form(self):
+        result = simulate_uniform_sq_rel_err(DENSE, trials=300, rng=1)
+        predicted = expected_sq_rel_err_uniform(DENSE)
+        # Continuous vs discretised cells: allow a few percent + noise.
+        assert result.mean == pytest.approx(predicted, rel=0.10)
+
+    def test_error_halves_with_double_sample(self):
+        small = simulate_uniform_sq_rel_err(
+            DENSE, sample_rows=DENSE.budget_rows, trials=200, rng=2
+        )
+        large = simulate_uniform_sq_rel_err(
+            DENSE, sample_rows=2 * DENSE.budget_rows, trials=200, rng=2
+        )
+        assert large.mean == pytest.approx(small.mean / 2, rel=0.2)
+
+    def test_result_fields(self):
+        result = simulate_uniform_sq_rel_err(DENSE, trials=50, rng=3)
+        assert isinstance(result, SimulationResult)
+        assert result.trials == 50
+        assert result.std_error > 0
+
+
+class TestSmallGroupSimulation:
+    def test_gamma_zero_matches_uniform(self):
+        sim_sg = simulate_small_group_sq_rel_err(
+            DENSE, allocation_ratio=0.0, trials=300, rng=4
+        )
+        predicted = expected_sq_rel_err_uniform(DENSE)
+        assert sim_sg.mean == pytest.approx(predicted, rel=0.12)
+
+    def test_matches_closed_form_at_high_skew(self):
+        scenario = AnalysisScenario(
+            n_group_columns=2,
+            selectivity=1.0,
+            n_distinct=8,
+            z=2.0,
+            database_rows=1_000_000,
+            budget_fraction=0.01,
+        )
+        sim = simulate_small_group_sq_rel_err(
+            scenario, allocation_ratio=0.5, trials=300, rng=5
+        )
+        predicted = expected_sq_rel_err_small_group(scenario, 0.5)
+        assert sim.mean == pytest.approx(predicted, rel=0.15)
+
+    def test_small_groups_reduce_error_when_skewed(self):
+        # Needs a domain wide enough that t-rare values exist: c=20, z=2.5
+        # puts substantial group mass outside L(C).
+        scenario = AnalysisScenario(
+            n_group_columns=2,
+            selectivity=1.0,
+            n_distinct=20,
+            z=2.5,
+            database_rows=10_000_000,
+            budget_fraction=0.01,
+        )
+        uniform = simulate_uniform_sq_rel_err(scenario, trials=150, rng=6)
+        small = simulate_small_group_sq_rel_err(
+            scenario, allocation_ratio=0.5, trials=150, rng=6
+        )
+        assert small.mean < uniform.mean

@@ -1,0 +1,451 @@
+"""Tests for small group sampling: pre-processing and runtime phases."""
+
+import numpy as np
+import pytest
+
+from repro.core.smallgroup import SmallGroupConfig, SmallGroupSampling
+from repro.engine.executor import aggregate_table, execute
+from repro.engine.expressions import (
+    AggFunc,
+    AggregateSpec,
+    BitmaskDisjoint,
+    InSet,
+    Query,
+)
+from repro.errors import RuntimePhaseError, SamplingError
+from repro.sql import parse
+
+COUNT = AggregateSpec(AggFunc.COUNT, alias="cnt")
+
+
+@pytest.fixture(scope="module")
+def sg_flat(flat_db):
+    technique = SmallGroupSampling(
+        SmallGroupConfig(
+            base_rate=0.05, allocation_ratio=0.5, use_reservoir=False, seed=1
+        )
+    )
+    technique.preprocess(flat_db)
+    return technique
+
+
+class TestConfig:
+    def test_small_fraction(self):
+        config = SmallGroupConfig(base_rate=0.02, allocation_ratio=0.5)
+        assert config.small_fraction == pytest.approx(0.01)
+
+    def test_invalid_rate(self):
+        with pytest.raises(SamplingError):
+            SmallGroupConfig(base_rate=0.0)
+        with pytest.raises(SamplingError):
+            SmallGroupConfig(base_rate=1.5)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(SamplingError):
+            SmallGroupConfig(allocation_ratio=-0.1)
+
+    def test_level_validation(self):
+        with pytest.raises(SamplingError):
+            SmallGroupConfig(levels=((0.01, 1.0), (0.005, 0.1)))
+        with pytest.raises(SamplingError):
+            SmallGroupConfig(levels=((0.01, 0.1), (0.02, 1.0)))
+        with pytest.raises(SamplingError):
+            SmallGroupConfig(levels=((0.01, 0.0),))
+
+    def test_effective_levels_default(self):
+        config = SmallGroupConfig(base_rate=0.02, allocation_ratio=0.5)
+        assert config.effective_levels() == ((config.small_fraction, 1.0),)
+
+
+class TestPreprocessing:
+    def test_requires_preprocess_before_answer(self, flat_db):
+        technique = SmallGroupSampling()
+        with pytest.raises(RuntimePhaseError):
+            technique.answer(Query("flat", (COUNT,)))
+
+    def test_metadata_indices_dense(self, sg_flat):
+        indices = [m.bit_index for m in sg_flat.metadata()]
+        assert indices == list(range(len(indices)))
+
+    def test_small_group_tables_capped(self, sg_flat, flat_db):
+        n = flat_db.fact_table.n_rows
+        t = sg_flat.config.small_fraction
+        for meta in sg_flat.metadata():
+            assert meta.stored_rows <= n * t + 1
+
+    def test_small_tables_hold_all_uncommon_rows(self, sg_flat, flat_db):
+        """Every row with an uncommon value is in the column's table."""
+        from repro.engine.stats import collect_column_stats
+
+        view = flat_db.joined_view()
+        stats = collect_column_stats(view)
+        catalog = sg_flat.sample_catalog()
+        for meta in sg_flat.metadata():
+            column = meta.columns[0]
+            common = stats[column].common_values(sg_flat.config.small_fraction)
+            uncommon_rows = sum(
+                count
+                for value, count in stats[column].frequencies.items()
+                if value not in common
+            )
+            assert catalog.table(meta.name).n_rows == uncommon_rows
+
+    def test_overall_sample_size(self, sg_flat, flat_db):
+        details = sg_flat.preprocess_details()
+        expected = round(sg_flat.config.base_rate * flat_db.fact_table.n_rows)
+        assert details["overall_rows"] == expected
+
+    def test_bitmask_tags_match_class_membership(self, sg_flat, flat_db):
+        """A stored row's bit j is set iff its value is uncommon in col j."""
+        from repro.engine.stats import collect_column_stats
+
+        view = flat_db.joined_view()
+        stats = collect_column_stats(view)
+        commons = {
+            m.bit_index: (
+                m.columns[0],
+                stats[m.columns[0]].common_values(
+                    sg_flat.config.small_fraction
+                ),
+            )
+            for m in sg_flat.metadata()
+        }
+        catalog = sg_flat.sample_catalog()
+        overall = catalog.table("sg_overall")
+        assert overall.bitmask is not None
+        for row in range(min(50, overall.n_rows)):
+            mask_bits = set(overall.bitmask.row_mask(row).bits())
+            for bit, (column, common) in commons.items():
+                value = overall.column(column)[row]
+                assert (bit in mask_bits) == (value not in common)
+
+    def test_sample_tables_are_join_synopses(self, tiny_tpch):
+        technique = SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.05, use_reservoir=False)
+        )
+        technique.preprocess(tiny_tpch)
+        overall = technique.sample_catalog().table("sg_overall")
+        # Dimension attributes are materialised inline.
+        assert overall.has_column("p_brand")
+        assert overall.has_column("o_custnation")
+
+    def test_preprocess_report(self, flat_db):
+        technique = SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.02, use_reservoir=False)
+        )
+        report = technique.preprocess(flat_db)
+        assert report.technique == "small_group"
+        assert report.sample_rows > 0
+        assert 0 < report.space_overhead < 1
+        assert report.n_sample_tables == len(technique.metadata()) + 1
+
+    def test_reservoir_and_direct_same_size(self, flat_db):
+        a = SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.02, use_reservoir=True, seed=3)
+        )
+        b = SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.02, use_reservoir=False, seed=3)
+        )
+        ra = a.preprocess(flat_db)
+        rb = b.preprocess(flat_db)
+        assert ra.sample_rows == rb.sample_rows
+
+    def test_excluded_columns_not_covered(self, flat_db):
+        technique = SmallGroupSampling(
+            SmallGroupConfig(
+                base_rate=0.05, exclude_columns=("city",), use_reservoir=False
+            )
+        )
+        technique.preprocess(flat_db)
+        assert all(m.columns != ("city",) for m in technique.metadata())
+
+    def test_explicit_column_list(self, flat_db):
+        technique = SmallGroupSampling(
+            SmallGroupConfig(
+                base_rate=0.05, columns=("city",), use_reservoir=False
+            )
+        )
+        technique.preprocess(flat_db)
+        assert {m.columns[0] for m in technique.metadata()} <= {"city"}
+
+
+class TestRuntime:
+    def test_exact_marked_groups_are_exact(self, sg_flat, flat_db):
+        query = Query("flat", (COUNT,), ("city", "shape"))
+        exact = execute(flat_db, query).as_dict()
+        answer = sg_flat.answer(query)
+        assert answer.exact_groups()  # skew guarantees some small groups
+        for group in answer.exact_groups():
+            assert answer.value(group) == pytest.approx(exact[group])
+
+    def test_sum_exact_groups(self, sg_flat, flat_db):
+        query = Query(
+            "flat", (AggregateSpec(AggFunc.SUM, "amount", alias="s"),), ("city",)
+        )
+        exact = execute(flat_db, query).as_dict()
+        answer = sg_flat.answer(query)
+        for group in answer.exact_groups():
+            assert answer.value(group) == pytest.approx(exact[group])
+
+    def test_rewritten_sql_matches_paper_shape(self, sg_flat):
+        query = Query("flat", (COUNT,), ("city", "color"))
+        answer = sg_flat.answer(query)
+        statement = parse(answer.rewritten_sql)
+        # One branch per applicable small group table + the overall sample.
+        applicable = sg_flat.applicable_tables(query)
+        assert len(statement.selects) == len(applicable) + 1
+        # First branch is unscaled and unfiltered, later ones carry filters.
+        assert statement.selects[0].scale == 1.0
+        assert statement.selects[-1].scale > 1.0
+        where = statement.selects[-1].query.where
+        last = where.operands[-1] if hasattr(where, "operands") else where
+        assert isinstance(last, BitmaskDisjoint)
+
+    def test_filter_ordering_by_bit_index(self, sg_flat):
+        query = Query("flat", (COUNT,), ("city", "color", "shape"))
+        pieces = sg_flat.choose_samples(query)
+        used = [m for m in sg_flat.metadata() if m.columns[0] in query.group_by]
+        assert [p.table.name for p in pieces[:-1]] == [m.name for m in used]
+
+    def test_no_double_counting_total(self, sg_flat, flat_db):
+        """Total COUNT across groups is consistent: only one stratum may
+        claim each row class, so the expected total equals N (checked with
+        a generous tolerance on the sampled stratum)."""
+        query = Query("flat", (COUNT,), ("city",))
+        answer = sg_flat.answer(query)
+        total = sum(answer.as_dict().values())
+        n = flat_db.fact_table.n_rows
+        assert abs(total - n) / n < 0.35
+
+    def test_unbiasedness_over_seeds(self, flat_db):
+        query = Query(
+            "flat", (COUNT,), ("shape",), where=InSet("status", ["status_000"])
+        )
+        exact = execute(flat_db, query)
+        target_group = max(exact.as_dict(), key=exact.as_dict().get)
+        truth = exact.as_dict()[target_group]
+        estimates = []
+        for seed in range(30):
+            technique = SmallGroupSampling(
+                SmallGroupConfig(
+                    base_rate=0.05, use_reservoir=False, seed=seed
+                )
+            )
+            technique.preprocess(flat_db)
+            answer = technique.answer(query)
+            if target_group in answer.groups:
+                estimates.append(answer.value(target_group))
+        mean = np.mean(estimates)
+        assert abs(mean - truth) / truth < 0.15
+
+    def test_full_rate_answers_exactly(self, flat_db):
+        """base_rate = 1.0 makes the overall sample the whole database, so
+        every answer must be exact."""
+        technique = SmallGroupSampling(
+            SmallGroupConfig(
+                base_rate=1.0, allocation_ratio=0.01, use_reservoir=False
+            )
+        )
+        technique.preprocess(flat_db)
+        query = Query(
+            "flat",
+            (COUNT, AggregateSpec(AggFunc.SUM, "amount", alias="s")),
+            ("color", "status"),
+        )
+        exact = aggregate_table(flat_db.joined_view(), query)
+        answer = technique.answer(query)
+        assert set(answer.groups) == set(exact.rows)
+        for group, row in exact.rows.items():
+            assert answer.groups[group][0].value == pytest.approx(row[0])
+            assert answer.groups[group][1].value == pytest.approx(row[1])
+
+    def test_rows_for_query(self, sg_flat):
+        narrow = Query("flat", (COUNT,), ("status",))
+        wide = Query("flat", (COUNT,), ("city", "color"))
+        assert sg_flat.rows_for_query(wide) >= sg_flat.rows_for_query(narrow)
+
+    def test_confidence_intervals_cover_for_sampled_groups(self, flat_db):
+        query = Query("flat", (COUNT,), ("shape",))
+        exact = execute(flat_db, query).as_dict()
+        covered = total = 0
+        for seed in range(25):
+            technique = SmallGroupSampling(
+                SmallGroupConfig(base_rate=0.05, use_reservoir=False, seed=seed)
+            )
+            technique.preprocess(flat_db)
+            answer = technique.answer(query)
+            for group, truth in exact.items():
+                if group not in answer.groups or truth < 50:
+                    continue
+                lo, hi = answer.confidence_interval(group, level=0.95)
+                total += 1
+                covered += lo <= truth <= hi
+        assert total > 0
+        assert covered / total > 0.85
+
+
+class TestVariations:
+    def test_multi_level_builds_level_tables(self, flat_db):
+        config = SmallGroupConfig(
+            base_rate=0.05,
+            levels=((0.025, 1.0), (0.1, 0.5)),
+            use_reservoir=False,
+        )
+        technique = SmallGroupSampling(config)
+        technique.preprocess(flat_db)
+        levels = {m.level for m in technique.metadata()}
+        assert levels == {0, 1}
+        for meta in technique.metadata():
+            if meta.level == 1:
+                assert meta.rate == 0.5
+                assert meta.stored_rows <= meta.class_rows
+
+    def test_multi_level_estimates_reasonable(self, flat_db):
+        config = SmallGroupConfig(
+            base_rate=0.05,
+            levels=((0.025, 1.0), (0.1, 0.5)),
+            use_reservoir=False,
+            seed=2,
+        )
+        technique = SmallGroupSampling(config)
+        technique.preprocess(flat_db)
+        query = Query("flat", (COUNT,), ("city",))
+        exact = execute(flat_db, query).as_dict()
+        answer = technique.answer(query)
+        # Exact groups still exact.
+        for group in answer.exact_groups():
+            assert answer.value(group) == pytest.approx(exact[group])
+        # Medium-level groups estimated within a loose band.
+        total = sum(answer.as_dict().values())
+        n = sum(exact.values())
+        assert abs(total - n) / n < 0.35
+
+    def test_pair_tables(self, flat_db):
+        config = SmallGroupConfig(
+            base_rate=0.05,
+            pair_columns=(("color", "shape"),),
+            use_reservoir=False,
+        )
+        technique = SmallGroupSampling(config)
+        technique.preprocess(flat_db)
+        pair_metas = [m for m in technique.metadata() if len(m.columns) == 2]
+        assert len(pair_metas) == 1
+        # Pair table applies only when both columns are grouped.
+        q_both = Query("flat", (COUNT,), ("color", "shape"))
+        q_one = Query("flat", (COUNT,), ("color",))
+        applicable_both = {
+            technique.metadata()[i].name
+            for i in technique.applicable_tables(q_both)
+        }
+        applicable_one = {
+            technique.metadata()[i].name
+            for i in technique.applicable_tables(q_one)
+        }
+        assert pair_metas[0].name in applicable_both
+        assert pair_metas[0].name not in applicable_one
+
+    def test_pair_tables_answers_exact_for_rare_pairs(self, flat_db):
+        config = SmallGroupConfig(
+            base_rate=0.05,
+            pair_columns=(("color", "shape"),),
+            use_reservoir=False,
+        )
+        technique = SmallGroupSampling(config)
+        technique.preprocess(flat_db)
+        query = Query("flat", (COUNT,), ("color", "shape"))
+        exact = execute(flat_db, query).as_dict()
+        answer = technique.answer(query)
+        for group in answer.exact_groups():
+            assert answer.value(group) == pytest.approx(exact[group])
+
+    def test_max_tables_per_query(self, flat_db):
+        config = SmallGroupConfig(
+            base_rate=0.05, max_tables_per_query=1, use_reservoir=False
+        )
+        technique = SmallGroupSampling(config)
+        technique.preprocess(flat_db)
+        query = Query("flat", (COUNT,), ("city", "color", "shape"))
+        assert len(technique.applicable_tables(query)) <= 1
+        pieces = technique.choose_samples(query)
+        assert len(pieces) <= 2  # one table + overall
+
+    def test_max_rows_per_query_budget_respected(self, flat_db):
+        budget = 450
+        technique = SmallGroupSampling(
+            SmallGroupConfig(
+                base_rate=0.05,
+                max_rows_per_query=budget,
+                use_reservoir=False,
+            )
+        )
+        technique.preprocess(flat_db)
+        query = Query("flat", (COUNT,), ("city", "color", "shape"))
+        assert technique.rows_for_query(query) <= budget
+        # Uncapped configuration would exceed the budget on this query.
+        uncapped = SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.05, use_reservoir=False)
+        )
+        uncapped.preprocess(flat_db)
+        assert uncapped.rows_for_query(query) > budget
+
+    def test_max_rows_greedy_prefers_coverage(self, flat_db):
+        """With room for exactly one table, the greedy pick maximises
+        class coverage per stored row (all rate-1 tables tie on the
+        ratio, so the largest class wins)."""
+        uncapped = SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.05, use_reservoir=False)
+        )
+        uncapped.preprocess(flat_db)
+        query = Query("flat", (COUNT,), ("city", "color", "shape"))
+        applicable = [
+            uncapped.metadata()[i] for i in uncapped.applicable_tables(query)
+        ]
+        overall_rows = sum(
+            p["rows"]
+            for p in uncapped.preprocess_details()["overall_parts"]
+        )
+        biggest = max(applicable, key=lambda m: m.class_rows)
+        budget = overall_rows + biggest.stored_rows
+        capped = SmallGroupSampling(
+            SmallGroupConfig(
+                base_rate=0.05,
+                max_rows_per_query=budget,
+                use_reservoir=False,
+            )
+        )
+        capped.preprocess(flat_db)
+        chosen = [
+            capped.metadata()[i] for i in capped.applicable_tables(query)
+        ]
+        assert chosen
+        assert chosen[0].columns == biggest.columns
+
+    def test_max_rows_answers_remain_valid(self, flat_db):
+        technique = SmallGroupSampling(
+            SmallGroupConfig(
+                base_rate=0.05,
+                max_rows_per_query=450,
+                use_reservoir=False,
+            )
+        )
+        technique.preprocess(flat_db)
+        query = Query("flat", (COUNT,), ("city", "color"))
+        exact = execute(flat_db, query).as_dict()
+        answer = technique.answer(query)
+        for group in answer.exact_groups():
+            assert answer.value(group) == pytest.approx(exact[group])
+
+    def test_max_tables_prefers_smallest(self, flat_db):
+        technique = SmallGroupSampling(
+            SmallGroupConfig(
+                base_rate=0.05, max_tables_per_query=1, use_reservoir=False
+            )
+        )
+        technique.preprocess(flat_db)
+        query = Query("flat", (COUNT,), ("city", "color", "shape"))
+        chosen = technique.applicable_tables(query)
+        applicable_all = [
+            m for m in technique.metadata() if m.columns[0] in query.group_by
+        ]
+        smallest = min(applicable_all, key=lambda m: m.stored_rows)
+        assert technique.metadata()[chosen[0]].name == smallest.name

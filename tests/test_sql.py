@@ -1,0 +1,215 @@
+"""Tests for the SQL lexer, parser, and formatter."""
+
+import pytest
+
+from repro.engine.expressions import (
+    AggFunc,
+    And,
+    Between,
+    BitmaskDisjoint,
+    Compare,
+    CompareOp,
+    InSet,
+    Not,
+)
+from repro.errors import SQLSyntaxError
+from repro.sql import (
+    format_query,
+    format_statement,
+    parse,
+    parse_query,
+    parse_select,
+    tokenize,
+)
+from repro.sql.lexer import TokenType
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        assert tokenize("MyCol")[0].value == "MyCol"
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 2.5 .5 1e3 2.5e-2")[:-1]]
+        assert values == ["1", "2.5", ".5", "1e3", "2.5e-2"]
+
+    def test_string_with_escape(self):
+        token = tokenize("'it''s'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError) as err:
+            tokenize("'oops")
+        assert err.value.position == 0
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a /* mid */ b -- end\nc")
+        assert [t.value for t in tokens[:-1]] == ["a", "b", "c"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("/* never ends")
+
+    def test_two_char_operators(self):
+        values = [t.value for t in tokenize("<= >= <> !=")[:-1]]
+        assert values == ["<=", ">=", "<>", "<>"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError) as err:
+            tokenize("a ; b")
+        assert err.value.position == 2
+
+    def test_end_token(self):
+        assert tokenize("x")[-1].type is TokenType.END
+
+
+class TestParser:
+    def test_simple_count(self):
+        q = parse_query("SELECT COUNT(*) FROM t")
+        assert q.table == "t"
+        assert q.aggregates[0].func is AggFunc.COUNT
+        assert q.group_by == ()
+        assert q.where is None
+
+    def test_group_by_and_alias(self):
+        q = parse_query(
+            "SELECT a, b, COUNT(*) AS cnt FROM t GROUP BY a, b"
+        )
+        assert q.group_by == ("a", "b")
+        assert q.aggregates[0].alias == "cnt"
+
+    def test_select_columns_must_match_group_by(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT a, COUNT(*) FROM t GROUP BY b")
+
+    def test_predicates(self):
+        q = parse_query(
+            "SELECT SUM(v) FROM t WHERE a IN ('x', 'y') AND n BETWEEN 1 AND 5 "
+            "AND m >= 2.5 AND NOT b = 'q'"
+        )
+        assert isinstance(q.where, And)
+        kinds = [type(p) for p in q.where.operands]
+        assert kinds == [InSet, Between, Compare, Not]
+
+    def test_comparison_operators(self):
+        for op in ("<>", "<", "<=", ">", ">="):
+            q = parse_query(f"SELECT COUNT(*) FROM t WHERE x {op} 3")
+            assert isinstance(q.where, Compare)
+            assert q.where.op is CompareOp(op)
+
+    def test_equality_parses_to_equals(self):
+        from repro.engine.expressions import Equals
+
+        q = parse_query("SELECT COUNT(*) FROM t WHERE x = 3")
+        assert q.where == Equals("x", 3)
+
+    def test_negative_literals(self):
+        q = parse_query("SELECT COUNT(*) FROM t WHERE x BETWEEN -5 AND -1.5")
+        assert q.where == Between("x", -5, -1.5)
+
+    def test_parenthesised_predicate(self):
+        q = parse_query("SELECT COUNT(*) FROM t WHERE (a = 1 AND b = 2)")
+        assert isinstance(q.where, And)
+
+    def test_bitmask_filter(self):
+        select = parse_select(
+            "SELECT COUNT(*) FROM s WHERE bitmask & 5 = 0"
+        )
+        assert isinstance(select.query.where, BitmaskDisjoint)
+        assert select.query.where.mask.bits() == [0, 2]
+
+    def test_bitmask_must_compare_to_zero(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT COUNT(*) FROM s WHERE bitmask & 5 = 1")
+
+    def test_scaled_aggregate(self):
+        select = parse_select("SELECT COUNT(*) * 100 AS cnt FROM s")
+        assert select.scale == 100.0
+
+    def test_parse_query_rejects_scale(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT COUNT(*) * 100 FROM s")
+
+    def test_union_all(self):
+        statement = parse(
+            "SELECT COUNT(*) FROM a UNION ALL SELECT COUNT(*) FROM b"
+        )
+        assert statement.is_union
+        assert [s.query.table for s in statement.selects] == ["a", "b"]
+
+    def test_parse_select_rejects_union(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT COUNT(*) FROM a UNION ALL SELECT COUNT(*) FROM b")
+
+    def test_no_aggregate_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT a FROM t GROUP BY a")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLSyntaxError, match="trailing"):
+            parse("SELECT COUNT(*) FROM t extra")
+
+    def test_missing_from(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT COUNT(*)")
+
+    def test_literal_types(self):
+        q = parse_query("SELECT COUNT(*) FROM t WHERE a IN (1, 2.5, 'x')")
+        assert q.where.values == (1, 2.5, "x")
+
+    def test_paper_rewrite_example(self):
+        statement = parse(
+            """
+            SELECT A, C, COUNT(*) AS cnt FROM s_A GROUP BY A, C
+            UNION ALL
+            SELECT A, C, COUNT(*) AS cnt FROM s_C
+            WHERE bitmask & 1 = 0 GROUP BY A, C
+            UNION ALL
+            SELECT A, C, COUNT(*) * 100 AS cnt FROM s_overall
+            WHERE bitmask & 5 = 0 /* 5 = 2^0 + 2^2 */ GROUP BY A, C
+            """
+        )
+        assert len(statement.selects) == 3
+        assert statement.selects[2].scale == 100.0
+        assert statement.selects[1].query.where.mask.bits() == [0]
+
+
+class TestFormatter:
+    def test_roundtrip_paper_example(self):
+        sql = (
+            "SELECT A, C, COUNT(*) AS cnt FROM s_A GROUP BY A, C "
+            "UNION ALL SELECT A, C, COUNT(*) * 100 AS cnt FROM s_overall "
+            "WHERE bitmask & 5 = 0 GROUP BY A, C"
+        )
+        statement = parse(sql)
+        rendered = format_statement(statement)
+        assert parse(rendered) == statement
+
+    def test_string_escaping_roundtrip(self):
+        q = parse_query("SELECT COUNT(*) FROM t WHERE a = 'it''s'")
+        rendered = format_query(q)
+        assert "''" in rendered
+        assert parse(rendered).selects[0].query == q
+
+    def test_formats_expected_shape(self):
+        q = parse_query(
+            "select region, sum(revenue) as rev from sales "
+            "where ch in ('a','b') group by region"
+        )
+        text = format_query(q)
+        assert text.splitlines() == [
+            "SELECT region, SUM(revenue) AS rev",
+            "FROM sales",
+            "WHERE ch IN ('a', 'b')",
+            "GROUP BY region",
+        ]
+
+    def test_float_scale(self):
+        select = parse_select("SELECT COUNT(*) * 12.5 FROM t")
+        rendered = format_statement(parse("SELECT COUNT(*) * 12.5 FROM t"))
+        assert parse(rendered).selects[0].scale == select.scale == 12.5

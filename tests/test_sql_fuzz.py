@@ -1,0 +1,76 @@
+"""Robustness fuzzing: the SQL front end never crashes unexpectedly.
+
+Whatever bytes arrive, ``parse`` either succeeds or raises
+``SQLSyntaxError`` (wrapped in the library's error hierarchy) — never an
+uncontrolled exception.  The middleware relies on this to surface clean
+errors to users.
+"""
+
+from hypothesis import example, given, settings, strategies as st
+
+from repro.errors import QueryError, SQLSyntaxError
+from repro.sql import parse
+
+SQL_FRAGMENTS = [
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "ORDER",
+    "LIMIT",
+    "UNION",
+    "ALL",
+    "COUNT(*)",
+    "SUM(x)",
+    "AVG(",
+    "AS",
+    "IN",
+    "BETWEEN",
+    "AND",
+    "NOT",
+    "bitmask",
+    "&",
+    "=",
+    "<>",
+    "(",
+    ")",
+    ",",
+    "*",
+    "5",
+    "2.5",
+    "-3",
+    "'text'",
+    "'unterminated",
+    "ident",
+    "a_b",
+    "DESC",
+]
+
+
+@given(st.text(max_size=60))
+@settings(max_examples=200, deadline=None)
+@example("SELECT COUNT(*) FROM t WHERE bitmask & = 0")
+@example("SELECT ;;; FROM t")
+def test_arbitrary_text_fails_cleanly(text):
+    try:
+        parse(text)
+    except (SQLSyntaxError, QueryError):
+        pass
+
+
+@given(
+    st.lists(st.sampled_from(SQL_FRAGMENTS), min_size=1, max_size=15).map(
+        " ".join
+    )
+)
+@settings(max_examples=300, deadline=None)
+def test_token_soup_fails_cleanly(text):
+    try:
+        statement = parse(text)
+    except (SQLSyntaxError, QueryError):
+        return
+    # If it parsed, it must be a well-formed statement.
+    assert statement.selects
+    for select in statement.selects:
+        assert select.query.aggregates

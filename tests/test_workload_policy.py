@@ -1,0 +1,105 @@
+"""Tests for workload-driven column trimming (§3.3 / §5.4.2)."""
+
+import pytest
+
+from repro.core.workload_policy import (
+    grouping_column_counts,
+    small_group_for_workload,
+    trim_columns,
+)
+from repro.core.smallgroup import SmallGroupConfig
+from repro.errors import WorkloadError
+from repro.workload.generator import generate_workload
+from repro.workload.spec import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def workload(tiny_tpch):
+    return generate_workload(
+        tiny_tpch,
+        WorkloadConfig(
+            group_column_counts=(1, 2),
+            predicate_counts=(1,),
+            subset_fractions=(0.2,),
+            queries_per_combo=10,
+            seed=17,
+        ),
+    )
+
+
+class TestCounting:
+    def test_counts_match_workload(self, workload):
+        counts = grouping_column_counts(workload)
+        total = sum(counts.values())
+        expected = sum(q.n_group_columns for q in workload.queries)
+        assert total == expected
+
+    def test_counts_only_grouping_columns(self, workload):
+        counts = grouping_column_counts(workload)
+        grouped = {c for q in workload.queries for c in q.query.group_by}
+        assert set(counts) == grouped
+
+
+class TestTrim:
+    def test_ordering_most_referenced_first(self, workload):
+        columns = trim_columns(workload)
+        counts = grouping_column_counts(workload)
+        references = [counts[c] for c in columns]
+        assert references == sorted(references, reverse=True)
+
+    def test_min_references_filters(self, workload):
+        counts = grouping_column_counts(workload)
+        threshold = max(counts.values())
+        columns = trim_columns(workload, min_references=threshold)
+        assert all(counts[c] >= threshold for c in columns)
+
+    def test_top_k(self, workload):
+        assert len(trim_columns(workload, top_k=3)) == 3
+
+    def test_validation(self, workload):
+        with pytest.raises(WorkloadError):
+            trim_columns(workload, min_references=0)
+        with pytest.raises(WorkloadError):
+            trim_columns(workload, top_k=0)
+
+    def test_over_trimming_raises(self, workload):
+        with pytest.raises(WorkloadError):
+            trim_columns(workload, min_references=10**6)
+
+
+class TestBuild:
+    def test_technique_covers_only_trimmed_columns(self, tiny_tpch, workload):
+        technique = small_group_for_workload(
+            tiny_tpch,
+            workload,
+            config=SmallGroupConfig(base_rate=0.05, use_reservoir=False),
+            top_k=4,
+        )
+        trimmed = set(trim_columns(workload, top_k=4))
+        covered = {m.columns[0] for m in technique.metadata()}
+        assert covered <= trimmed
+
+    def test_trimming_reduces_space(self, tiny_tpch, workload):
+        full = small_group_for_workload(
+            tiny_tpch,
+            workload,
+            config=SmallGroupConfig(base_rate=0.05, use_reservoir=False),
+        )
+        trimmed = small_group_for_workload(
+            tiny_tpch,
+            workload,
+            config=SmallGroupConfig(base_rate=0.05, use_reservoir=False),
+            top_k=2,
+        )
+        full_rows = sum(i.n_rows for i in full.sample_tables())
+        trimmed_rows = sum(i.n_rows for i in trimmed.sample_tables())
+        assert trimmed_rows < full_rows
+
+    def test_answers_workload_queries(self, tiny_tpch, workload):
+        technique = small_group_for_workload(
+            tiny_tpch,
+            workload,
+            config=SmallGroupConfig(base_rate=0.05, use_reservoir=False),
+        )
+        answer = technique.answer(workload.queries[0].query)
+        assert answer.n_groups >= 0

@@ -1,0 +1,85 @@
+"""Tests for the truncated Zipf distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datagen.zipf import ZipfDistribution, zipf_pmf
+from repro.errors import SamplingError
+
+
+class TestPmf:
+    def test_sums_to_one(self):
+        assert zipf_pmf(50, 1.8).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        pmf = zipf_pmf(30, 1.2)
+        assert (np.diff(pmf) < 0).all()
+
+    def test_zero_skew_is_uniform(self):
+        pmf = zipf_pmf(10, 0.0)
+        assert np.allclose(pmf, 0.1)
+
+    def test_ratio_follows_power_law(self):
+        pmf = zipf_pmf(10, 2.0)
+        assert pmf[0] / pmf[1] == pytest.approx(4.0)
+        assert pmf[0] / pmf[3] == pytest.approx(16.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(SamplingError):
+            zipf_pmf(0, 1.0)
+        with pytest.raises(SamplingError):
+            zipf_pmf(5, -0.5)
+
+
+class TestSampling:
+    def test_sample_range(self):
+        dist = ZipfDistribution(20, 1.5)
+        ranks = dist.sample(1000, rng=0)
+        assert ranks.min() >= 0 and ranks.max() < 20
+
+    def test_sample_skew(self):
+        dist = ZipfDistribution(20, 2.0)
+        ranks = dist.sample(20000, rng=1)
+        counts = np.bincount(ranks, minlength=20)
+        # Rank 0 should dominate and approximate the pmf.
+        assert counts[0] > counts[1] > counts[2]
+        assert counts[0] / 20000 == pytest.approx(dist.pmf[0], rel=0.05)
+
+    def test_deterministic(self):
+        dist = ZipfDistribution(10, 1.0)
+        assert (dist.sample(100, rng=5) == dist.sample(100, rng=5)).all()
+
+    def test_expected_counts(self):
+        dist = ZipfDistribution(5, 1.0)
+        assert dist.expected_counts(100).sum() == pytest.approx(100)
+
+
+class TestCommonRanks:
+    def test_head_coverage(self):
+        dist = ZipfDistribution(10, 1.0)
+        assert dist.head_coverage(0) == 0.0
+        assert dist.head_coverage(10) == pytest.approx(1.0)
+        assert dist.head_coverage(15) == pytest.approx(1.0)
+
+    def test_common_rank_count_extremes(self):
+        dist = ZipfDistribution(10, 1.5)
+        assert dist.common_rank_count(0.0) == 10
+        assert dist.common_rank_count(1.0) == 0
+
+    @given(
+        c=st.integers(min_value=1, max_value=60),
+        z=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+        t=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_common_rank_count_is_minimal_cover(self, c, z, t):
+        dist = ZipfDistribution(c, z)
+        k = dist.common_rank_count(t)
+        assert 0 <= k <= c
+        # The k most common ranks cover at least 1 - t ...
+        if t > 0:
+            assert dist.head_coverage(k) >= 1.0 - t - 1e-9
+        # ... and k is minimal.
+        if k > 0:
+            assert dist.head_coverage(k - 1) < 1.0 - t + 1e-9
