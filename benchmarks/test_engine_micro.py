@@ -113,3 +113,91 @@ def test_middleware_sql_latency(benchmark, db, sg):
     )
     result = benchmark(session.sql, sql)
     assert result.approx is not None and result.approx.n_groups > 0
+
+
+REPEATED_WORKLOAD_SQLS = [
+    "SELECT l_shipmode, COUNT(*) AS cnt FROM lineitem GROUP BY l_shipmode",
+    "SELECT p_brand, COUNT(*) AS cnt, SUM(l_extendedprice) AS s "
+    "FROM lineitem GROUP BY p_brand",
+    "SELECT o_custnation, l_returnflag, COUNT(*) AS cnt FROM lineitem "
+    "GROUP BY o_custnation, l_returnflag",
+    "SELECT o_custnation, SUM(l_quantity) AS q FROM lineitem "
+    "WHERE l_shipmode IN ('l_shipmode_000', 'l_shipmode_001') "
+    "GROUP BY o_custnation",
+    "SELECT p_brand, l_returnflag, AVG(l_extendedprice) AS a FROM lineitem "
+    "GROUP BY p_brand, l_returnflag",
+]
+
+
+def test_repeated_workload_cache_speedup(db, sg):
+    """100-query repeated group-by stream: warm cache vs per-query cold.
+
+    Each query is served in ``mode="both"`` — the approximate answer plus
+    the exact audit answer, the shape the experiments use to measure
+    error — so the stream exercises every cache layer: parse/plan memos
+    on the approximate side, join-position, gathered-column, and
+    group-id caches on the exact side.  The cold pass clears the
+    execution cache and the session memos before every query — the seed
+    executor's effective behaviour; the warm pass reuses them across the
+    stream.  Both answers must match the cold pass on every query, and
+    the warm stream must be at least 3x faster.  Emits
+    ``BENCH_engine_cache.json`` (queries/sec cold vs warm) at the repo
+    root for future perf comparisons.
+    """
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.engine.cache import get_cache
+    from repro.middleware import AQPSession
+
+    stream = [
+        REPEATED_WORKLOAD_SQLS[i % len(REPEATED_WORKLOAD_SQLS)]
+        for i in range(100)
+    ]
+    cache = get_cache()
+
+    def run(session, cold):
+        answers = []
+        start = time.perf_counter()
+        for sql in stream:
+            if cold:
+                cache.clear()
+                session._parse_memo.clear()
+                session._plan_memo.clear()
+            result = session.sql(sql, mode="both")
+            approx = result.approx
+            answers.append(
+                (
+                    {
+                        group: tuple(e.value for e in estimates)
+                        for group, estimates in approx.groups.items()
+                    },
+                    result.exact.rows,
+                )
+            )
+        return answers, time.perf_counter() - start
+
+    cold_answers, cold_seconds = run(AQPSession(db, sg), cold=True)
+    cache.clear()
+    cache.metrics.reset()
+    warm_answers, warm_seconds = run(AQPSession(db, sg), cold=False)
+
+    assert warm_answers == cold_answers  # identical, query for query
+    speedup = cold_seconds / warm_seconds
+    payload = {
+        "benchmark": "repeated_workload_cache",
+        "mode": "both",
+        "queries": len(stream),
+        "distinct_queries": len(REPEATED_WORKLOAD_SQLS),
+        "fact_rows": db.fact_table.n_rows,
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "cold_qps": round(len(stream) / cold_seconds, 3),
+        "warm_qps": round(len(stream) / warm_seconds, 3),
+        "speedup": round(speedup, 3),
+        "cache_metrics": cache.metrics.snapshot(),
+    }
+    out = Path(__file__).resolve().parents[1] / "BENCH_engine_cache.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    assert speedup >= 3.0, payload

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from fractions import Fraction
 
 import numpy as np
 
@@ -81,9 +82,19 @@ class CongressConfig:
 
 @dataclass
 class _StratifiedSample:
+    """One stratified sample with exact and float HT weights.
+
+    ``weights`` holds the exact rational Horvitz–Thompson weights
+    (``Fraction`` objects: ``stratum_size / realized_count`` reconstructs
+    the stratum size *exactly*, which no float64 weight can guarantee);
+    ``weights_float`` is the correctly-rounded float64 twin used by the
+    vectorised execution paths.
+    """
+
     table: Table
     weights: np.ndarray
     variance_weights: np.ndarray
+    weights_float: np.ndarray
 
 
 class BasicCongress(AQPTechnique):
@@ -185,8 +196,10 @@ class BasicCongress(AQPTechnique):
         """Draw the per-stratum sample via randomised rounding.
 
         Each stratum's target ``e`` yields ``floor(e) + Bernoulli(frac(e))``
-        rows sampled without replacement; weights are
-        ``stratum_size / stratum_sample_size``.
+        rows sampled without replacement.  Horvitz–Thompson weights are
+        derived from the *realized* per-stratum sampled counts and kept as
+        exact rationals, so ``weight * realized_count`` reconstructs the
+        stratum size exactly.
         """
         counts = np.floor(targets).astype(np.int64)
         counts += (rng.random(len(targets)) < (targets - counts)).astype(np.int64)
@@ -203,22 +216,44 @@ class BasicCongress(AQPTechnique):
         keep = occurrence < counts[sorted_strata]
         chosen = np.sort(order[keep])
         chosen_strata = strata[chosen]
-        sampled_counts = counts[chosen_strata].astype(np.float64)
-        weights = sizes[chosen_strata] / sampled_counts
-        inclusion = sampled_counts / sizes[chosen_strata]
-        variance_weights = (1.0 - inclusion) * weights * weights
+        realized = np.bincount(chosen_strata, minlength=sizes.size)
+        # One exact rational weight per stratum, shared across its rows.
+        stratum_weight = np.empty(sizes.size, dtype=object)
+        for s in range(sizes.size):
+            stratum_weight[s] = (
+                Fraction(int(round(sizes[s])), int(realized[s]))
+                if realized[s] > 0
+                else Fraction(0)
+            )
+        weights = stratum_weight[chosen_strata]
+        realized_f = realized.astype(np.float64)
+        weights_float = (
+            sizes[chosen_strata] / realized_f[chosen_strata]
+            if chosen.size
+            else np.empty(0, dtype=np.float64)
+        )
+        inclusion = (
+            realized_f[chosen_strata] / sizes[chosen_strata]
+            if chosen.size
+            else np.empty(0, dtype=np.float64)
+        )
+        variance_weights = (1.0 - inclusion) * weights_float * weights_float
         name = f"congress_{rate:.6f}".rstrip("0").rstrip(".")
         return _StratifiedSample(
             table=view.take(chosen).rename(name),
             weights=weights,
             variance_weights=variance_weights,
+            weights_float=weights_float,
         )
 
     def sample_tables(self) -> list[SampleTableInfo]:
         """One stratified sample table per budget."""
         return [
             SampleTableInfo(
-                table=s.table, kind="stratified", rate=rate, weights=s.weights
+                table=s.table,
+                kind="stratified",
+                rate=rate,
+                weights=s.weights_float,
             )
             for rate, s in self._samples.items()
         ]
@@ -243,7 +278,7 @@ class BasicCongress(AQPTechnique):
         piece = SamplePiece(
             table=sample.table,
             query=query.with_table(sample.table.name),
-            weights=sample.weights,
+            weights=sample.weights_float,
             variance_weights=sample.variance_weights,
             counts_as_exact=False,
             description=f"{sample.table.name} ({self._n_strata} strata)",

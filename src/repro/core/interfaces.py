@@ -111,6 +111,21 @@ class AQPTechnique(abc.ABC):
 
     def __init__(self) -> None:
         self._preprocessed = False
+        self._plan_version = 0
+
+    @property
+    def plan_version(self) -> int:
+        """Monotonic counter identifying the current sample layout.
+
+        Session-level plan memos store the version they were computed
+        against and recompute when it moves — after :meth:`preprocess`
+        or incremental maintenance restructure the samples.
+        """
+        return self._plan_version
+
+    def invalidate_plans(self) -> None:
+        """Bump :attr:`plan_version`; call after the sample layout changes."""
+        self._plan_version += 1
 
     @abc.abstractmethod
     def preprocess(self, db: Database) -> PreprocessReport:
@@ -147,6 +162,9 @@ class AQPTechnique(abc.ABC):
         details: dict | None = None,
     ) -> PreprocessReport:
         """Assemble a report from the technique's current sample tables."""
+        # Every preprocess implementation ends here, so reporting doubles
+        # as the plan-version bump for freshly (re)built samples.
+        self.invalidate_plans()
         infos = self.sample_tables()
         view_rows = db.fact_table.n_rows
         return PreprocessReport(

@@ -44,6 +44,7 @@ from repro.core.architecture import DynamicSampleSelection
 from repro.core.interfaces import SampleTableInfo
 from repro.core.rewriter import SamplePiece
 from repro.engine.bitmask import Bitmask, BitmaskVector
+from repro.engine.cache import get_cache
 from repro.engine.column import ColumnKind
 from repro.engine.database import Database
 from repro.engine.expressions import BitmaskDisjoint, Query
@@ -565,7 +566,7 @@ class SmallGroupSampling(DynamicSampleSelection):
         missing = [c for c in needed if not table.has_column(c)]
         if not missing:
             return table
-        from repro.engine.database import _key_positions
+        from repro.engine.database import gather_dimension_column
 
         columns = {c: table.column(c) for c in table.column_names}
         remaining = set(missing)
@@ -574,12 +575,12 @@ class SmallGroupSampling(DynamicSampleSelection):
             wanted = [c for c in remaining if dim.has_column(c)]
             if not wanted:
                 continue
-            positions = _key_positions(
-                dim.column(fk.dimension_key).numeric_values(),
-                table.column(fk.fact_column).numeric_values(),
-            )
+            fact_key_col = table.column(fk.fact_column)
+            dim_key_col = dim.column(fk.dimension_key)
             for c in wanted:
-                columns[c] = dim.column(c).take(positions)
+                columns[c] = gather_dimension_column(
+                    fact_key_col, dim_key_col, dim.column(c)
+                )
                 remaining.discard(c)
         if remaining:
             raise PreprocessingError(
@@ -878,7 +879,9 @@ class SmallGroupSampling(DynamicSampleSelection):
                     .rename(meta.name)
                     .with_bitmask(self._pack_bits(member_matrix, stored))
                 )
-                self._tables[i] = self._tables[i].concat(extension)
+                replaced = self._tables[i]
+                self._tables[i] = replaced.concat(extension)
+                get_cache().invalidate_table(replaced)
                 appended = int(stored.size)
             self._metas[i] = _replace(
                 meta,
@@ -908,6 +911,7 @@ class SmallGroupSampling(DynamicSampleSelection):
                 .with_bitmask(self._pack_bits(member_matrix, incoming))
             )
             overall = kept.concat(addition)
+            get_cache().invalidate_table(part.table)
         self._view_rows = total
         if self.config.storage == "renormalized":
             self._extend_reduced_dimensions(batch)
@@ -916,6 +920,9 @@ class SmallGroupSampling(DynamicSampleSelection):
             table=overall, scale=1.0 / rate, rate=rate
         )
         self._refresh_infos()
+        # The overall scale factor moved with the new row count, so any
+        # memoised rewrite plans are stale even when no table changed.
+        self.invalidate_plans()
 
     def _extend_reduced_dimensions(self, batch: Table) -> None:
         """Add newly referenced dimension rows to the reduced dimensions."""
@@ -941,6 +948,7 @@ class SmallGroupSampling(DynamicSampleSelection):
             )
             addition = source.filter(keep).rename(reduced.name)
             self._reduced_dims[fk.dimension_table] = reduced.concat(addition)
+            get_cache().invalidate_table(reduced)
 
     def _refresh_infos(self) -> None:
         """Rebuild the sample-table info list after maintenance."""

@@ -1,0 +1,268 @@
+"""Cross-query execution cache.
+
+The engine's per-query cost model is "time proportional to rows
+*scanned*", yet the seed executor paid avoidable per-query overheads that
+are recomputable once and reusable forever: re-sorting grouping columns
+with ``numpy.unique``, re-deriving star-schema foreign-key join positions
+with ``argsort``, and re-evaluating WHERE predicates over the same stored
+tables.  :class:`ExecutionCache` amortises that work across a query
+stream, the way production AQP middleware (BlinkDB-style systems) must to
+serve repeated workloads.
+
+Design
+------
+Entries are keyed by a *kind* string, the identities of one or more
+**anchor** objects (columns, tables), and an optional hashable extra key
+(e.g. the predicate).  Every anchor is held through a :mod:`weakref`, so
+
+* an entry is only served while each anchor is the *same live object* it
+  was stored against — stored tables are immutable-by-convention and are
+  replaced wholesale on append (``concat`` returns a new object), so
+  identity equality is a correct freshness check; and
+* entries die automatically with their anchors (the weakref callback
+  prunes them), so the cache cannot serve a recycled ``id()``.
+
+On top of the automatic lifetime management, the incremental-append paths
+(:meth:`repro.engine.database.Database.append_rows`,
+:meth:`repro.core.smallgroup.SmallGroupSampling.insert_rows`) call
+:meth:`ExecutionCache.invalidate_table` explicitly so replaced tables
+release their derived arrays immediately rather than at garbage
+collection.
+
+Hit/miss counters are collected per kind in :class:`CacheMetrics` and
+re-exported through :mod:`repro.metrics`.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections.abc import Callable, Hashable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Sentinel distinguishing "no cached value" from a cached ``None``.
+MISS = object()
+
+
+@dataclass
+class CacheMetrics:
+    """Hit/miss counters per cache kind (``group_ids``, ``join_positions``,
+    ``predicate_mask``, ``column_codes``, ``joined_column``, ``sql_parse``,
+    ``plan`` ...)."""
+
+    hits: dict[str, int] = field(default_factory=dict)
+    misses: dict[str, int] = field(default_factory=dict)
+    invalidations: int = 0
+
+    def record_hit(self, kind: str) -> None:
+        """Count one cache hit for ``kind``."""
+        self.hits[kind] = self.hits.get(kind, 0) + 1
+
+    def record_miss(self, kind: str) -> None:
+        """Count one cache miss for ``kind``."""
+        self.misses[kind] = self.misses.get(kind, 0) + 1
+
+    def hit_rate(self, kind: str) -> float:
+        """Fraction of lookups served from cache (NaN when never looked up)."""
+        hits = self.hits.get(kind, 0)
+        total = hits + self.misses.get(kind, 0)
+        return hits / total if total else float("nan")
+
+    def total_hits(self) -> int:
+        """Hits summed across every kind."""
+        return sum(self.hits.values())
+
+    def total_misses(self) -> int:
+        """Misses summed across every kind."""
+        return sum(self.misses.values())
+
+    def snapshot(self) -> dict:
+        """A plain-dict view for reports and benchmark JSON."""
+        kinds = sorted(set(self.hits) | set(self.misses))
+        return {
+            "hits": dict(self.hits),
+            "misses": dict(self.misses),
+            "invalidations": self.invalidations,
+            "by_kind": {
+                k: {
+                    "hits": self.hits.get(k, 0),
+                    "misses": self.misses.get(k, 0),
+                }
+                for k in kinds
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits.clear()
+        self.misses.clear()
+        self.invalidations = 0
+
+
+class ExecutionCache:
+    """Identity-validated cache of derived execution artifacts.
+
+    The cache never copies what it stores; callers must treat cached
+    arrays as immutable (the engine's columns already are, by convention).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.metrics = CacheMetrics()
+        # key -> (anchor weakrefs, anchor ids, value)
+        self._entries: dict[tuple, tuple[tuple, tuple[int, ...], Any]] = {}
+        # id(anchor) -> keys anchored on it, for invalidation / GC pruning
+        self._anchor_keys: dict[int, set[tuple]] = {}
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+    def _key(
+        self, kind: str, anchors: Sequence[Any], extra: Hashable
+    ) -> tuple:
+        return (kind, tuple(id(a) for a in anchors), extra)
+
+    def _remove_key(self, key: tuple) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        for anchor_id in entry[1]:
+            keys = self._anchor_keys.get(anchor_id)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._anchor_keys[anchor_id]
+
+    def get(self, kind: str, anchors: Sequence[Any], extra: Hashable = None):
+        """Return the cached value or :data:`MISS`.
+
+        Raises ``TypeError`` if ``extra`` is unhashable — callers caching
+        user-supplied predicate values should catch it and skip caching.
+        """
+        if not self.enabled:
+            return MISS
+        key = self._key(kind, anchors, extra)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.metrics.record_miss(kind)
+            return MISS
+        refs, _, value = entry
+        for ref, anchor in zip(refs, anchors):
+            if ref() is not anchor:
+                self._remove_key(key)
+                self.metrics.record_miss(kind)
+                return MISS
+        self.metrics.record_hit(kind)
+        return value
+
+    def put(
+        self,
+        kind: str,
+        anchors: Sequence[Any],
+        value: Any,
+        extra: Hashable = None,
+    ) -> None:
+        """Store ``value`` keyed on the anchors' identities.
+
+        Anchors that do not support weak references make the entry
+        unstorable; the put is silently skipped (the cache is an
+        optimisation, never a requirement).
+        """
+        if not self.enabled:
+            return
+        key = self._key(kind, anchors, extra)
+
+        def _on_death(_ref, key=key, cache_ref=weakref.ref(self)):
+            cache = cache_ref()
+            if cache is not None:
+                cache._remove_key(key)
+
+        try:
+            refs = tuple(weakref.ref(a, _on_death) for a in anchors)
+        except TypeError:
+            return
+        anchor_ids = tuple(id(a) for a in anchors)
+        self._remove_key(key)
+        self._entries[key] = (refs, anchor_ids, value)
+        for anchor_id in anchor_ids:
+            self._anchor_keys.setdefault(anchor_id, set()).add(key)
+
+    def get_or_compute(
+        self,
+        kind: str,
+        anchors: Sequence[Any],
+        compute: Callable[[], Any],
+        extra: Hashable = None,
+    ):
+        """Cached value for the key, computing and storing it on a miss."""
+        value = self.get(kind, anchors, extra)
+        if value is MISS:
+            value = compute()
+            self.put(kind, anchors, value, extra)
+        return value
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate_object(self, obj: Any) -> int:
+        """Drop every entry anchored on ``obj``; returns entries dropped."""
+        keys = self._anchor_keys.get(id(obj))
+        if not keys:
+            return 0
+        dropped = 0
+        for key in list(keys):
+            entry = self._entries.get(key)
+            # id() reuse guard: only drop entries whose weakref still
+            # resolves to this exact object.
+            if entry is not None and any(r() is obj for r in entry[0]):
+                self._remove_key(key)
+                dropped += 1
+        self.metrics.invalidations += dropped
+        return dropped
+
+    def invalidate_table(self, table: Any) -> int:
+        """Drop entries anchored on a table or any of its columns."""
+        dropped = self.invalidate_object(table)
+        column = getattr(table, "column", None)
+        names = getattr(table, "column_names", None)
+        if callable(column) and names is not None:
+            for name in names:
+                dropped += self.invalidate_object(column(name))
+        bitmask = getattr(table, "bitmask", None)
+        if bitmask is not None:
+            dropped += self.invalidate_object(bitmask)
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; use ``metrics.reset()``)."""
+        self._entries.clear()
+        self._anchor_keys.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-wide cache shared by the executor, expression evaluation, and
+#: join resolution.  Entries are keyed by object identity (validated with
+#: weak references), so unrelated databases sharing the cache can never
+#: read each other's artifacts.
+_GLOBAL_CACHE = ExecutionCache()
+
+
+def get_cache() -> ExecutionCache:
+    """The process-wide execution cache."""
+    return _GLOBAL_CACHE
+
+
+def execution_cache_metrics() -> CacheMetrics:
+    """Hit/miss counters of the process-wide execution cache."""
+    return _GLOBAL_CACHE.metrics
+
+
+__all__ = [
+    "MISS",
+    "CacheMetrics",
+    "ExecutionCache",
+    "execution_cache_metrics",
+    "get_cache",
+]

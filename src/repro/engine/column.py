@@ -50,7 +50,7 @@ class Column:
         for numeric columns.
     """
 
-    __slots__ = ("kind", "data", "dictionary", "_dictionary_index")
+    __slots__ = ("kind", "data", "dictionary", "_dictionary_index", "__weakref__")
 
     def __init__(
         self,

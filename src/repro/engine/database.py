@@ -12,6 +12,8 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro.engine.cache import MISS, get_cache
+from repro.engine.column import Column
 from repro.engine.schema import StarSchema
 from repro.engine.table import Table
 from repro.errors import SchemaError
@@ -37,6 +39,46 @@ def _key_positions(dim_keys: np.ndarray, fact_keys: np.ndarray) -> np.ndarray:
     return order[pos]
 
 
+def cached_key_positions(
+    dim_key_column: Column, fact_key_column: Column
+) -> np.ndarray:
+    """Memoised :func:`_key_positions` for a (dimension key, FK) column pair.
+
+    Anchored on the two :class:`Column` objects' identities: the append
+    paths replace columns wholesale, so identity equality guarantees the
+    cached positions still describe the stored data.
+    """
+    cache = get_cache()
+    anchors = (fact_key_column, dim_key_column)
+    positions = cache.get("join_positions", anchors)
+    if positions is MISS:
+        positions = _key_positions(
+            dim_key_column.numeric_values(), fact_key_column.numeric_values()
+        )
+        cache.put("join_positions", anchors, positions)
+    return positions
+
+
+def gather_dimension_column(
+    fact_key_column: Column, dim_key_column: Column, dim_column: Column
+) -> Column:
+    """A dimension column gathered to fact-row order, memoised.
+
+    This is the per-column payload of the star join: with the join
+    positions cached the gather itself is one fancy-indexing pass, and the
+    gathered column is cached too so repeated queries touching the same
+    dimension attribute pay nothing.
+    """
+    cache = get_cache()
+    anchors = (fact_key_column, dim_key_column, dim_column)
+    gathered = cache.get("joined_column", anchors)
+    if gathered is MISS:
+        positions = cached_key_positions(dim_key_column, fact_key_column)
+        gathered = dim_column.take(positions)
+        cache.put("joined_column", anchors, gathered)
+    return gathered
+
+
 class Database:
     """A catalog of tables with optional star-schema join metadata."""
 
@@ -48,6 +90,7 @@ class Database:
             if table.name in self._tables:
                 raise SchemaError(f"duplicate table name {table.name!r}")
             self._tables[table.name] = table
+        self.cache = get_cache()
         self.star_schema = star_schema
         if star_schema is not None:
             self._validate_star_schema(star_schema)
@@ -104,10 +147,25 @@ class Database:
         self._tables[table.name] = table
 
     def drop_table(self, name: str) -> None:
-        """Remove a table from the catalog."""
+        """Remove a table from the catalog, releasing its cached artifacts."""
         if name not in self._tables:
             raise SchemaError(f"no table {name!r} to drop")
-        del self._tables[name]
+        self.cache.invalidate_table(self._tables.pop(name))
+
+    def append_rows(self, name: str, batch: Table) -> Table:
+        """Append ``batch``'s rows to table ``name`` (incremental-load path).
+
+        The stored table is replaced wholesale by the concatenation and
+        every cached artifact derived from the old version — group ids,
+        join positions, predicate masks, gathered dimension columns — is
+        invalidated explicitly rather than waiting for garbage collection.
+        Returns the new table.
+        """
+        old = self.table(name)
+        merged = old.concat(batch)
+        self.cache.invalidate_table(old)
+        self._tables[name] = merged
+        return merged
 
     def total_bytes(self) -> int:
         """Approximate footprint of all catalog tables (space accounting)."""
@@ -155,11 +213,12 @@ class Database:
         columns = {c: fact.column(c) for c in fact.column_names}
         for fk in self.star_schema.foreign_keys:
             dim = self.table(fk.dimension_table)
-            fact_keys = fact.column(fk.fact_column).numeric_values()
-            dim_keys = dim.column(fk.dimension_key).numeric_values()
-            positions = _key_positions(dim_keys, fact_keys)
+            fact_key_col = fact.column(fk.fact_column)
+            dim_key_col = dim.column(fk.dimension_key)
             for c in dim.column_names:
                 if c == fk.dimension_key:
                     continue
-                columns[c] = dim.column(c).take(positions)
+                columns[c] = gather_dimension_column(
+                    fact_key_col, dim_key_col, dim.column(c)
+                )
         return Table(name or f"{fact.name}_joined", columns)

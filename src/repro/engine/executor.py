@@ -6,10 +6,14 @@ whichever dimension columns the query touches — or against a single flat
 (sample) table with optional per-row weights and a result scale factor,
 which is how the AQP techniques evaluate their rewritten queries.
 
-Grouping is computed on dictionary codes / numeric values with
-``numpy.unique`` and ``numpy.bincount``; the cost of a query is therefore
+Grouping operates directly on dictionary codes (string columns carry them
+from construction) or on ``numpy.unique``-densified numeric values, and
+aggregates via ``numpy.bincount``; the cost of a query is therefore
 proportional to the number of rows scanned, matching the cost model that
-the paper's speedup experiments rely on.
+the paper's speedup experiments rely on.  Group-id assignment, WHERE
+masks, and star-join positions are memoised in the cross-query
+:class:`~repro.engine.cache.ExecutionCache`, keyed on column identity, so
+a repeated workload pays the row-proportional aggregation cost only.
 """
 
 from __future__ import annotations
@@ -19,7 +23,9 @@ from typing import Any
 
 import numpy as np
 
-from repro.engine.database import Database, _key_positions
+from repro.engine.cache import MISS, get_cache
+from repro.engine.column import Column, ColumnKind
+from repro.engine.database import Database, gather_dimension_column
 from repro.engine.expressions import AggFunc, AggregateSpec, Query
 from repro.engine.table import Table
 from repro.errors import QueryError
@@ -127,30 +133,84 @@ def dense_ids(code_arrays: list[np.ndarray]) -> tuple[np.ndarray, int]:
         raise QueryError("dense_ids requires at least one code array")
     _, ids = np.unique(code_arrays[0], return_inverse=True)
     ids = ids.reshape(-1).astype(np.int64)
-    n_groups = int(ids.max()) + 1 if ids.size else 0
+    if ids.size == 0:
+        # Parallel arrays over zero rows: no groups, and no .max() calls
+        # on empty arrays further down.
+        return ids, 0
+    n_groups = int(ids.max()) + 1
     for codes in code_arrays[1:]:
         _, next_ids = np.unique(codes, return_inverse=True)
         next_ids = next_ids.reshape(-1).astype(np.int64)
-        card = int(next_ids.max()) + 1 if next_ids.size else 1
+        if next_ids.size == 0:
+            return np.zeros(0, dtype=np.int64), 0
+        card = int(next_ids.max()) + 1
         combined = ids * card + next_ids
         _, ids = np.unique(combined, return_inverse=True)
         ids = ids.reshape(-1).astype(np.int64)
-        n_groups = int(ids.max()) + 1 if ids.size else 0
+        n_groups = int(ids.max()) + 1
     return ids, n_groups
 
 
+# Dictionary-code grouping is skipped for dictionaries grossly larger than
+# the column (bincount width would dwarf the scan); this bound keeps the
+# zero-count padding at worst a small constant factor of the row count.
+_DICT_FAST_PATH_SLACK = 4
+_DICT_FAST_PATH_FLOOR = 1024
+
+
+def _column_group_codes(col: Column) -> tuple[np.ndarray, list[Any]]:
+    """Per-row dense codes plus decoded key values for one grouping column.
+
+    String columns reuse the dictionary codes computed at construction —
+    already dense in ``[0, len(dictionary))`` — so grouping skips the
+    per-query ``np.unique`` sort entirely.  Numeric columns are densified
+    once and memoised against the column's identity.  The key list may
+    contain values absent from the data (dictionary entries with zero
+    rows); aggregation drops empty groups downstream.
+    """
+    cache = get_cache()
+    cached = cache.get("column_codes", (col,))
+    if cached is not MISS:
+        return cached
+    if col.kind is ColumnKind.STRING and col.dictionary is not None and len(
+        col.dictionary
+    ) <= max(_DICT_FAST_PATH_FLOOR, _DICT_FAST_PATH_SLACK * len(col)):
+        codes = col.data.astype(np.int64)
+        keys: list[Any] = list(col.dictionary)
+    else:
+        _, first_rows, inverse = np.unique(
+            col.data, return_index=True, return_inverse=True
+        )
+        codes = inverse.reshape(-1).astype(np.int64)
+        keys = [col[int(r)] for r in first_rows]
+    cache.put("column_codes", (col,), (codes, keys))
+    return codes, keys
+
+
 def _group_ids(table: Table, group_by: tuple[str, ...]) -> tuple[np.ndarray, list[GroupKey]]:
-    """Assign each row a dense group id and list the decoded group keys."""
+    """Assign each row a dense group id and list the decoded group keys.
+
+    Memoised against the identities of the grouping :class:`Column`
+    objects — not the table — because :func:`resolve_columns` builds a
+    fresh flat ``Table`` per query around the same stored columns.
+    Callers must treat the returned arrays as immutable.
+    """
     n = table.n_rows
     if not group_by:
         return np.zeros(n, dtype=np.int64), [()]
-    code_arrays: list[np.ndarray] = []
-    cardinalities: list[int] = []
-    for name in group_by:
-        col = table.column(name)
-        uniques, inverse = np.unique(col.data, return_inverse=True)
-        code_arrays.append(inverse.astype(np.int64))
-        cardinalities.append(max(1, len(uniques)))
+    columns = [table.column(name) for name in group_by]
+    cache = get_cache()
+    cached = cache.get("group_ids", columns)
+    if cached is not MISS:
+        return cached
+    per_column = [_column_group_codes(col) for col in columns]
+    if len(per_column) == 1:
+        codes, key_values = per_column[0]
+        result = (codes, [(k,) for k in key_values])
+        cache.put("group_ids", columns, result)
+        return result
+    code_arrays = [codes for codes, _ in per_column]
+    cardinalities = [max(1, len(keys)) for _, keys in per_column]
     radix_product = 1
     for c in cardinalities:
         radix_product *= c
@@ -165,9 +225,36 @@ def _group_ids(table: Table, group_by: tuple[str, ...]) -> tuple[np.ndarray, lis
         _, first_rows, ids = np.unique(
             matrix, axis=0, return_index=True, return_inverse=True
         )
-    columns = [table.column(name) for name in group_by]
     keys = [tuple(col[int(r)] for col in columns) for r in first_rows]
-    return ids.reshape(-1).astype(np.int64), keys
+    result = (ids.reshape(-1).astype(np.int64), keys)
+    cache.put("group_ids", columns, result)
+    return result
+
+
+def _predicate_mask(table: Table, predicate) -> np.ndarray:
+    """Evaluate a WHERE predicate, memoising the boolean mask.
+
+    Only pure predicates (value-dependent only, per
+    :meth:`~repro.engine.expressions.Predicate.cache_safe`) are cached,
+    anchored on the referenced :class:`Column` objects so a stale mask can
+    never be served for replaced data.  Predicates with unhashable
+    literals simply skip the cache.
+    """
+    if not predicate.cache_safe():
+        return predicate.evaluate(table)
+    names = sorted(predicate.columns())
+    if not names:
+        return predicate.evaluate(table)
+    anchors = [table.column(name) for name in names]
+    cache = get_cache()
+    try:
+        mask = cache.get("predicate_mask", anchors, extra=predicate)
+        if mask is MISS:
+            mask = predicate.evaluate(table)
+            cache.put("predicate_mask", anchors, mask, extra=predicate)
+    except TypeError:
+        mask = predicate.evaluate(table)
+    return mask
 
 
 def aggregate_table(
@@ -212,15 +299,21 @@ def aggregate_table(
             f"variance_weights length {len(variance_weights)} != table rows "
             f"{table.n_rows}"
         )
+    # WHERE is applied as a selection-index subset of the cached full-table
+    # group ids and of each aggregated value array — never by materialising
+    # a filtered copy of every column (the seed's ``table.take``).
+    selection: np.ndarray | None = None
     if query.where is not None:
-        keep = query.where.evaluate(table)
-        indices = np.flatnonzero(keep)
-        table = table.take(indices)
+        keep = _predicate_mask(table, query.where)
+        selection = np.flatnonzero(keep)
         if weights is not None:
-            weights = weights[indices]
+            weights = weights[selection]
         if variance_weights is not None:
-            variance_weights = variance_weights[indices]
+            variance_weights = variance_weights[selection]
     ids, keys = _group_ids(table, query.group_by)
+    if selection is not None:
+        ids = ids[selection]
+    n_selected = int(selection.size) if selection is not None else table.n_rows
     n_groups = len(keys)
     raw_counts = np.bincount(ids, minlength=n_groups)
     if weights is None:
@@ -231,7 +324,7 @@ def aggregate_table(
     if collect_variance_stats and variance_weights is None:
         # Default variance contribution: squared effective weight per row.
         if weights is None:
-            variance_weights = np.full(table.n_rows, scale * scale)
+            variance_weights = np.full(n_selected, scale * scale)
         else:
             variance_weights = (weights * scale) ** 2
 
@@ -251,7 +344,10 @@ def aggregate_table(
                     keys[g]: float(squares[g]) for g in range(n_groups)
                 }
             continue
-        values = table.column(agg.column).numeric_values().astype(np.float64)
+        values = table.column(agg.column).numeric_values()
+        if selection is not None:
+            values = values[selection]
+        values = values.astype(np.float64)
         if agg.func in (AggFunc.SUM, AggFunc.AVG):
             contrib = values if weights is None else values * weights
             sums = np.bincount(ids, weights=contrib, minlength=n_groups)
@@ -411,11 +507,12 @@ def resolve_columns(db: Database, query: Query) -> Table:
             dim_needed = [c for c in missing if dim.has_column(c)]
             if not dim_needed:
                 continue
-            fact_keys = fact.column(fk.fact_column).numeric_values()
-            dim_keys = dim.column(fk.dimension_key).numeric_values()
-            positions = _key_positions(dim_keys, fact_keys)
+            fact_key_col = fact.column(fk.fact_column)
+            dim_key_col = dim.column(fk.dimension_key)
             for c in dim_needed:
-                columns[c] = dim.column(c).take(positions)
+                columns[c] = gather_dimension_column(
+                    fact_key_col, dim_key_col, dim.column(c)
+                )
                 missing.discard(c)
         if missing:
             raise QueryError(f"columns {sorted(missing)} not found in any table")

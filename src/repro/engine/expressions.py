@@ -35,6 +35,16 @@ class Predicate:
         """Names of the columns this predicate references."""
         raise NotImplementedError
 
+    def cache_safe(self) -> bool:
+        """Whether the mask depends only on the referenced columns' values.
+
+        Pure predicates may be memoised against the identities of those
+        columns (see the executor's predicate-mask cache).  Predicates that
+        read other table state — the bitmask de-duplication filter — must
+        return ``False``.
+        """
+        return True
+
 
 @dataclass(frozen=True)
 class Equals(Predicate):
@@ -65,9 +75,22 @@ class InSet(Predicate):
 
     def evaluate(self, table: Table) -> np.ndarray:
         col = table.column(self.column)
-        encoded = [col.encode_value(v) for v in self.values]
         if col.kind is ColumnKind.STRING:
-            encoded = [c for c in encoded if c >= 0]
+            # Translate the literal list to code space once, then answer
+            # with a boolean lookup over the (small) dictionary — no
+            # np.isin sort over the per-row data.
+            assert col.dictionary is not None
+            lut = np.zeros(len(col.dictionary), dtype=bool)
+            any_present = False
+            for v in self.values:
+                code = col.encode_value(v)
+                if code >= 0:
+                    lut[code] = True
+                    any_present = True
+            if not any_present:
+                return np.zeros(len(col), dtype=bool)
+            return lut[col.data]
+        encoded = [col.encode_value(v) for v in self.values]
         if not encoded:
             return np.zeros(len(col), dtype=bool)
         targets = np.asarray(sorted(encoded), dtype=col.data.dtype)
@@ -166,6 +189,9 @@ class And(Predicate):
             out |= operand.columns()
         return out
 
+    def cache_safe(self) -> bool:
+        return all(operand.cache_safe() for operand in self.operands)
+
 
 @dataclass(frozen=True)
 class Not(Predicate):
@@ -178,6 +204,9 @@ class Not(Predicate):
 
     def columns(self) -> set[str]:
         return self.operand.columns()
+
+    def cache_safe(self) -> bool:
+        return self.operand.cache_safe()
 
 
 @dataclass(frozen=True)
@@ -203,6 +232,10 @@ class BitmaskDisjoint(Predicate):
 
     def columns(self) -> set[str]:
         return set()
+
+    def cache_safe(self) -> bool:
+        # Depends on the table's bitmask, not on any data column.
+        return False
 
 
 def conjoin(predicates: Sequence[Predicate]) -> Predicate | None:

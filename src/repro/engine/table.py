@@ -33,7 +33,7 @@ class Table:
         Must have the same number of rows as the columns.
     """
 
-    __slots__ = ("name", "_columns", "bitmask")
+    __slots__ = ("name", "_columns", "bitmask", "__weakref__")
 
     def __init__(
         self,

@@ -1,5 +1,6 @@
-"""Accuracy metrics from Section 4.3."""
+"""Accuracy metrics from Section 4.3 and execution-cache counters."""
 
+from repro.engine.cache import CacheMetrics, execution_cache_metrics
 from repro.metrics.error import (
     QueryAccuracy,
     pct_groups,
@@ -8,4 +9,12 @@ from repro.metrics.error import (
     sq_rel_err,
 )
 
-__all__ = ["QueryAccuracy", "pct_groups", "rel_err", "score", "sq_rel_err"]
+__all__ = [
+    "CacheMetrics",
+    "QueryAccuracy",
+    "execution_cache_metrics",
+    "pct_groups",
+    "rel_err",
+    "score",
+    "sq_rel_err",
+]

@@ -15,7 +15,9 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.answer import ApproxAnswer
+from repro.core.combiner import execute_pieces
 from repro.core.interfaces import AQPTechnique, PreprocessReport
+from repro.engine.cache import get_cache
 from repro.engine.database import Database
 from repro.engine.executor import GroupedResult, execute
 from repro.engine.expressions import Query
@@ -101,6 +103,11 @@ class AQPSession:
         self.technique = technique
         self.report: PreprocessReport | None = None
         self._log: list[_LogEntry] = []
+        # SQL text -> parsed Query (parse is deterministic, text is frozen).
+        self._parse_memo: dict[str, Query] = {}
+        # Query -> (technique, plan_version, pieces): the rewrite plan for
+        # structurally identical queries, revalidated per lookup.
+        self._plan_memo: dict[Query, tuple[AQPTechnique, int, list]] = {}
 
     # ------------------------------------------------------------------
     # Setup
@@ -131,12 +138,12 @@ class AQPSession:
             raise RuntimePhaseError(
                 f"mode must be approx, exact, or both; got {mode!r}"
             )
-        query = parse_query(text)
+        query = self._parse(text)
         result = SessionResult(sql=text, query=query)
         if mode in ("approx", "both"):
             technique = self.require_technique()
             start = time.perf_counter()
-            result.approx = technique.answer(query)
+            result.approx = self._answer_approx(technique, query)
             result.approx_seconds = time.perf_counter() - start
         if mode in ("exact", "both"):
             start = time.perf_counter()
@@ -151,6 +158,52 @@ class AQPSession:
             )
         )
         return result
+
+    def _parse(self, text: str) -> Query:
+        """Parse SQL, memoising by exact text (parsing is deterministic)."""
+        metrics = get_cache().metrics
+        query = self._parse_memo.get(text)
+        if query is None:
+            metrics.record_miss("sql_parse")
+            query = parse_query(text)
+            self._parse_memo[text] = query
+        else:
+            metrics.record_hit("sql_parse")
+        return query
+
+    def _answer_approx(
+        self, technique: AQPTechnique, query: Query
+    ) -> ApproxAnswer:
+        """Answer approximately, memoising the technique's rewrite plan.
+
+        Techniques exposing ``choose_samples`` (the dynamic-selection
+        family) get a per-query plan memo keyed by the parsed
+        :class:`Query` — so structurally identical SQL skips sample
+        selection and rewriting — validated against the technique's
+        ``plan_version`` (bumped by preprocess and incremental inserts).
+        """
+        chooser = getattr(technique, "choose_samples", None)
+        version = getattr(technique, "plan_version", None)
+        if chooser is None or version is None:
+            return technique.answer(query)
+        metrics = get_cache().metrics
+        try:
+            entry = self._plan_memo.get(query)
+        except TypeError:  # unhashable literal somewhere in the query
+            return technique.answer(query)
+        if (
+            entry is not None
+            and entry[0] is technique
+            and entry[1] == version
+        ):
+            metrics.record_hit("plan")
+            pieces = entry[2]
+        else:
+            metrics.record_miss("plan")
+            technique.require_preprocessed()
+            pieces = chooser(query)
+            self._plan_memo[query] = (technique, version, pieces)
+        return execute_pieces(pieces, technique=technique.name)
 
     def explain(self, text: str) -> str:
         """Describe how the installed technique would answer ``text``.

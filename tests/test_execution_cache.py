@@ -1,0 +1,216 @@
+"""Execution cache behaviour: hits, identity invalidation, append refresh.
+
+The cache contract under test: a cached artifact is served only while its
+anchor objects are the *same live objects* it was computed from, the
+incremental-append paths invalidate explicitly, and answers with a warm
+cache are identical to answers with a cold cache.
+"""
+
+import gc
+
+import numpy as np
+
+from repro.core.smallgroup import SmallGroupConfig, SmallGroupSampling
+from repro.datagen.synthetic import (
+    CategoricalSpec,
+    MeasureSpec,
+    generate_flat_table,
+)
+from repro.engine.cache import MISS, ExecutionCache, get_cache
+from repro.engine.column import Column
+from repro.engine.database import Database
+from repro.engine.executor import dense_ids, execute
+from repro.engine.expressions import AggFunc, AggregateSpec, InSet, Query
+from repro.engine.schema import ForeignKey, StarSchema
+from repro.engine.table import Table
+from repro.middleware import AQPSession
+from repro.sql.parser import parse_query
+
+COUNT = AggregateSpec(AggFunc.COUNT, alias="cnt")
+
+SPEC = dict(
+    categoricals=[
+        CategoricalSpec("color", 20, 1.5),
+        CategoricalSpec("status", 4, 0.8),
+    ],
+    measures=[MeasureSpec("amount", distribution="lognormal")],
+)
+
+
+def star_db() -> Database:
+    fact = Table.from_dict(
+        "sales",
+        {
+            "cust_id": [i % 5 for i in range(40)],
+            "amount": [float(i) for i in range(40)],
+            "channel": ["web" if i % 3 else "store" for i in range(40)],
+        },
+    )
+    dim = Table.from_dict(
+        "customers",
+        {
+            "cust_id": list(range(5)),
+            "region": [f"r{i % 2}" for i in range(5)],
+        },
+    )
+    schema = StarSchema(
+        fact_table="sales",
+        foreign_keys=(ForeignKey("cust_id", "customers", "cust_id"),),
+    )
+    return Database([fact, dim], schema)
+
+
+def answer_values(answer):
+    """Group -> estimate-value tuples, for exact answer comparison."""
+    return {
+        group: tuple(e.value for e in estimates)
+        for group, estimates in answer.groups.items()
+    }
+
+
+class TestDenseIdsEmpty:
+    def test_single_empty_array(self):
+        ids, n = dense_ids([np.array([], dtype=np.int64)])
+        assert ids.size == 0
+        assert n == 0
+
+    def test_empty_arrays_mid_loop(self):
+        # Regression: the .max() guard must hold on every iteration, not
+        # just the first array.
+        empty = np.array([], dtype=np.int64)
+        ids, n = dense_ids([empty, empty, empty])
+        assert ids.size == 0
+        assert n == 0
+
+
+class TestExecutionCache:
+    def test_hit_requires_same_object(self):
+        cache = ExecutionCache()
+        col = Column.ints([1, 2, 3])
+        cache.put("k", (col,), "value")
+        assert cache.get("k", (col,)) == "value"
+        replacement = Column.ints([1, 2, 3])  # equal value, distinct object
+        assert cache.get("k", (replacement,)) is MISS
+
+    def test_entry_dies_with_anchor(self):
+        cache = ExecutionCache()
+        col = Column.ints([1])
+        cache.put("k", (col,), 123)
+        assert len(cache) == 1
+        del col
+        gc.collect()
+        assert len(cache) == 0
+
+    def test_invalidate_table_drops_table_and_column_entries(self):
+        cache = ExecutionCache()
+        table = Table.from_dict("t", {"a": [1, 2]})
+        col = table.column("a")
+        cache.put("group_ids", (col,), "ids")
+        cache.put("other", (table,), "x")
+        assert cache.invalidate_table(table) == 2
+        assert cache.get("group_ids", (col,)) is MISS
+        assert cache.get("other", (table,)) is MISS
+
+    def test_disabled_cache_never_stores(self):
+        cache = ExecutionCache(enabled=False)
+        col = Column.ints([1])
+        cache.put("k", (col,), 1)
+        assert cache.get("k", (col,)) is MISS
+        assert len(cache) == 0
+
+
+class TestAppendInvalidation:
+    QUERY = Query(
+        "sales",
+        (COUNT, AggregateSpec(AggFunc.SUM, "amount", alias="s")),
+        ("region", "channel"),
+        where=InSet("channel", ["web", "store"]),
+    )
+
+    def test_warm_run_hits_group_and_join_caches(self):
+        db = star_db()
+        cache = get_cache()
+        cache.clear()
+        cold = execute(db, self.QUERY)
+        # The gathered dimension column is cached above the positions, so
+        # a warm star join hits "joined_column" without touching
+        # "join_positions" again.
+        hits_before = {
+            kind: cache.metrics.hits.get(kind, 0)
+            for kind in ("group_ids", "joined_column", "predicate_mask")
+        }
+        warm = execute(db, self.QUERY)
+        assert warm.rows == cold.rows
+        assert warm.raw_counts == cold.raw_counts
+        for kind, before in hits_before.items():
+            assert cache.metrics.hits.get(kind, 0) > before, kind
+
+    def test_append_rows_refreshes_caches_and_answers(self):
+        db = star_db()
+        cache = get_cache()
+        cache.clear()
+        before_append = execute(db, self.QUERY)
+        assert len(cache) > 0
+        invalidations_before = cache.metrics.invalidations
+
+        batch = Table.from_dict(
+            "sales",
+            {
+                "cust_id": [0, 1, 2],
+                "amount": [100.0, 200.0, 300.0],
+                "channel": ["web", "web", "store"],
+            },
+        )
+        db.append_rows("sales", batch)
+        assert cache.metrics.invalidations > invalidations_before
+
+        warm = execute(db, self.QUERY)
+        assert warm.rows != before_append.rows  # new rows are visible
+        cache.clear()
+        cold = execute(db, self.QUERY)
+        assert warm.rows == cold.rows
+        assert warm.raw_counts == cold.raw_counts
+
+
+class TestSessionMemos:
+    def build(self):
+        db = Database([generate_flat_table("flat", 3000, seed=7, **SPEC)])
+        sg = SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.05, use_reservoir=False, seed=7)
+        )
+        session = AQPSession(db)
+        session.install(sg)
+        return db, sg, session
+
+    def test_repeated_sql_hits_parse_and_plan_memos(self):
+        _, _, session = self.build()
+        metrics = get_cache().metrics
+        sql = "SELECT color, COUNT(*) AS cnt FROM flat GROUP BY color"
+        first = session.sql(sql).approx
+        parse_hits = metrics.hits.get("sql_parse", 0)
+        plan_hits = metrics.hits.get("plan", 0)
+        second = session.sql(sql).approx
+        assert metrics.hits.get("sql_parse", 0) > parse_hits
+        assert metrics.hits.get("plan", 0) > plan_hits
+        assert answer_values(second) == answer_values(first)
+
+    def test_insert_rows_bumps_plan_version_and_refreshes(self):
+        _, sg, session = self.build()
+        sql = "SELECT color, COUNT(*) AS cnt FROM flat GROUP BY color"
+        session.sql(sql)
+        version = sg.plan_version
+        sg.insert_rows(generate_flat_table("flat", 800, seed=8, **SPEC))
+        assert sg.plan_version > version
+
+        warm = session.sql(sql).approx
+        get_cache().clear()
+        cold = sg.answer(parse_query(sql))
+        assert answer_values(warm) == answer_values(cold)
+
+    def test_preprocess_bumps_plan_version(self):
+        _, sg, _ = self.build()
+        version = sg.plan_version
+        assert version >= 1  # install() ran preprocess once
+        db = Database([generate_flat_table("flat", 1000, seed=9, **SPEC)])
+        sg.preprocess(db)
+        assert sg.plan_version > version
