@@ -23,7 +23,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import ColumnTypeError
+from repro.errors import ColumnTypeError, InternalError
 
 
 class ColumnKind(enum.Enum):
@@ -144,8 +144,7 @@ class Column:
     def __getitem__(self, index: int) -> Any:
         value = self.data[index]
         if self.kind is ColumnKind.STRING:
-            assert self.dictionary is not None
-            return self.dictionary[int(value)]
+            return self.require_dictionary()[int(value)]
         if self.kind is ColumnKind.INT:
             return int(value)
         return float(value)
@@ -173,11 +172,25 @@ class Column:
         """Whether arithmetic aggregates (SUM/AVG) apply to this column."""
         return self.kind is not ColumnKind.STRING
 
+    def require_dictionary(self) -> Sequence[str]:
+        """The dictionary of a ``STRING`` column, with a durable guard.
+
+        Raises
+        ------
+        InternalError
+            If the dictionary is missing — string columns are always
+            constructed with one, so this indicates a bug in repro.
+        """
+        if self.dictionary is None:
+            raise InternalError(
+                f"{self.kind.value} column is missing its dictionary"
+            )
+        return self.dictionary
+
     def to_list(self) -> list[Any]:
         """Materialise the column as a list of Python values."""
         if self.kind is ColumnKind.STRING:
-            assert self.dictionary is not None
-            dictionary = self.dictionary
+            dictionary = self.require_dictionary()
             return [dictionary[code] for code in self.data]
         return self.data.tolist()
 
@@ -197,10 +210,10 @@ class Column:
         """Return the dictionary code for ``value``, or ``-1`` if absent."""
         if self.kind is not ColumnKind.STRING:
             raise ColumnTypeError("code_for only applies to string columns")
-        assert self.dictionary is not None
+        dictionary = self.require_dictionary()
         if self._dictionary_index is None:
             self._dictionary_index = {
-                v: i for i, v in enumerate(self.dictionary)
+                v: i for i, v in enumerate(dictionary)
             }
         return self._dictionary_index.get(value, -1)
 
@@ -208,8 +221,7 @@ class Column:
         """Return the string value for a dictionary ``code``."""
         if self.kind is not ColumnKind.STRING:
             raise ColumnTypeError("decode only applies to string columns")
-        assert self.dictionary is not None
-        return self.dictionary[code]
+        return self.require_dictionary()[code]
 
     # ------------------------------------------------------------------
     # Row operations
@@ -234,17 +246,18 @@ class Column:
             )
         if self.kind is not ColumnKind.STRING:
             return Column(self.kind, np.concatenate([self.data, other.data]))
-        assert self.dictionary is not None and other.dictionary is not None
-        if self.dictionary == other.dictionary:
+        dictionary = self.require_dictionary()
+        other_dictionary = other.require_dictionary()
+        if dictionary == other_dictionary:
             return Column(
                 ColumnKind.STRING,
                 np.concatenate([self.data, other.data]),
-                self.dictionary,
+                dictionary,
             )
-        merged = list(self.dictionary)
+        merged = list(dictionary)
         index = {v: i for i, v in enumerate(merged)}
-        remap = np.empty(len(other.dictionary), dtype=np.int32)
-        for code, value in enumerate(other.dictionary):
+        remap = np.empty(len(other_dictionary), dtype=np.int32)
+        for code, value in enumerate(other_dictionary):
             if value not in index:
                 index[value] = len(merged)
                 merged.append(value)
@@ -271,9 +284,9 @@ class Column:
             return {}
         values, counts = np.unique(self.data, return_counts=True)
         if self.kind is ColumnKind.STRING:
-            assert self.dictionary is not None
+            dictionary = self.require_dictionary()
             return {
-                self.dictionary[int(v)]: int(c)
+                dictionary[int(v)]: int(c)
                 for v, c in zip(values, counts)
             }
         if self.kind is ColumnKind.INT:

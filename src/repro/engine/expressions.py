@@ -79,8 +79,7 @@ class InSet(Predicate):
             # Translate the literal list to code space once, then answer
             # with a boolean lookup over the (small) dictionary — no
             # np.isin sort over the per-row data.
-            assert col.dictionary is not None
-            lut = np.zeros(len(col.dictionary), dtype=bool)
+            lut = np.zeros(len(col.require_dictionary()), dtype=bool)
             any_present = False
             for v in self.values:
                 code = col.encode_value(v)

@@ -14,6 +14,15 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+class InternalError(ReproError):
+    """An internal invariant of the library was violated (a bug in repro).
+
+    Raised where older code used ``assert``: unlike an assert, the guard
+    survives ``python -O`` and carries a message (RL005 in
+    ``docs/linting.md``).
+    """
+
+
 class SchemaError(ReproError):
     """A table, column, or foreign key definition is invalid or missing."""
 

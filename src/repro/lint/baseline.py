@@ -1,0 +1,129 @@
+"""Baseline handling: reviewed, accepted findings that do not fail CI.
+
+A baseline entry identifies a finding by ``(rule, path, symbol)`` — no
+line numbers, so entries survive unrelated edits to the file — plus a
+mandatory human ``reason``.  The contract is the one ratcheting linters
+use: the gate fails on any finding *not* in the baseline, the baseline
+only ever shrinks in review, and stale entries (matching nothing) are
+reported so they get deleted.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.core import Finding
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One reviewed, accepted finding."""
+
+    rule: str
+    path: str
+    symbol: str
+    reason: str
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "symbol": self.symbol,
+            "reason": self.reason,
+        }
+
+
+def load_baseline(path: Path | str) -> list[BaselineEntry]:
+    """Parse a baseline JSON file.
+
+    Raises
+    ------
+    ValueError
+        If the file is structurally wrong or an entry omits its reason —
+        an unexplained exemption defeats the point of the review.
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or not isinstance(
+        data.get("entries"), list
+    ):
+        raise ValueError(
+            f"{path}: baseline must be an object with an 'entries' list"
+        )
+    entries = []
+    for i, raw in enumerate(data["entries"]):
+        missing = [
+            k
+            for k in ("rule", "path", "symbol", "reason")
+            if not isinstance(raw.get(k), str) or not raw.get(k).strip()
+        ]
+        if missing:
+            raise ValueError(
+                f"{path}: entry {i} is missing non-empty {missing}"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=raw["rule"],
+                path=raw["path"],
+                symbol=raw["symbol"],
+                reason=raw["reason"],
+            )
+        )
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+    """Split findings into (fresh, accepted) and report stale entries.
+
+    ``fresh`` findings fail the gate; ``accepted`` ones match a baseline
+    entry; ``stale`` entries matched nothing and should be deleted.
+    """
+    by_key = {entry.key(): entry for entry in entries}
+    fresh: list[Finding] = []
+    accepted: list[Finding] = []
+    used: set[tuple[str, str, str]] = set()
+    for finding in findings:
+        entry = by_key.get(finding.key())
+        if entry is None:
+            fresh.append(finding)
+        else:
+            accepted.append(finding)
+            used.add(entry.key())
+    stale = [entry for entry in entries if entry.key() not in used]
+    return fresh, accepted, stale
+
+
+def baseline_payload(findings: Sequence[Finding]) -> dict:
+    """A baseline document accepting ``findings`` (``--write-baseline``).
+
+    Reasons are emitted as TODO placeholders: a baseline is only valid
+    once a human replaces each with the actual justification.
+    """
+    seen: set[tuple[str, str, str]] = set()
+    entries = []
+    for finding in findings:
+        if finding.key() in seen:
+            continue
+        seen.add(finding.key())
+        entries.append(
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "symbol": finding.symbol,
+                "reason": "TODO: justify or fix (see docs/linting.md)",
+            }
+        )
+    return {
+        "comment": (
+            "Reviewed repro.lint findings accepted on the current tree. "
+            "Entries match on (rule, path, symbol); see docs/linting.md."
+        ),
+        "entries": entries,
+    }

@@ -1,0 +1,123 @@
+"""RL002 — scale-factor discipline on rewrite pieces.
+
+The paper's §4.2.2 UNION-ALL rewriting is unbiased only when every
+branch carries the right aggregate scale: ``1/r`` on the overall
+(rate-``r``) sample, exactly ``1`` on 100%-sampled small-group tables.
+A wrong literal does not raise — it returns a plausible, wrong number.
+This rule checks every ``SamplePiece``/``OverallPart`` construction in
+``repro/core/`` and ``repro/baselines/`` for the statically decidable
+mistakes:
+
+* a piece marked ``zero_variance=True`` (100%-sampled) with a literal
+  scale other than 1.0;
+* a *sampled* piece (``zero_variance`` absent or ``False``) with an
+  explicit literal ``scale=1.0`` — the silent-bias case;
+* a ``SamplePiece`` with no ``scale``, no per-row ``weights``, and no
+  ``zero_variance=True``: the dataclass default (1.0) then silently
+  under-scales the piece.
+
+Non-literal scales (``scale=1.0 / rate``, ``scale=piece.scale``) are
+runtime facts the checker cannot decide and are left to the tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.core import FileContext, Finding, Rule, register
+
+SCOPE_PREFIXES = ("repro/core/", "repro/baselines/")
+
+#: Constructors carrying a scale contract (dataclass field order of
+#: SamplePiece puts ``scale`` third, hence the positional index).
+PIECE_NAMES = frozenset({"SamplePiece", "OverallPart"})
+SCALE_POSITIONAL_INDEX = 2
+
+
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _literal_number(node: ast.AST | None) -> float | None:
+    """The numeric value of a literal expression, else None."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal_number(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool):
+        return float(node.value)
+    return None
+
+
+def _literal_bool(node: ast.AST | None) -> bool | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, bool):
+        return node.value
+    return None
+
+
+@register
+class ScaleDiscipline(Rule):
+    rule_id = "RL002"
+    title = "rewrite-piece scale factor violates the §4.2.2 invariant"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.path.startswith(SCOPE_PREFIXES)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name not in PIECE_NAMES:
+                continue
+            kwargs = {k.arg: k.value for k in node.keywords if k.arg}
+            scale_expr = kwargs.get("scale")
+            if scale_expr is None and len(node.args) > SCALE_POSITIONAL_INDEX:
+                scale_expr = node.args[SCALE_POSITIONAL_INDEX]
+            scale_literal = _literal_number(scale_expr)
+            zero_variance_expr = kwargs.get("zero_variance")
+            zero_variance = _literal_bool(zero_variance_expr)
+
+            if zero_variance is True:
+                if scale_literal is not None and scale_literal != 1.0:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{name} marked zero_variance=True (100%-sampled) "
+                        f"carries literal scale={scale_literal:g}; exact "
+                        "pieces must have unit scale or every aggregate "
+                        "is multiplied by a bias factor",
+                    )
+                continue
+            if zero_variance_expr is not None and zero_variance is None:
+                continue  # zero_variance is a runtime expression: undecidable
+
+            if scale_literal == 1.0:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"sampled {name} constructed with literal scale=1.0; "
+                    "the overall sample must be scaled by 1/r (§4.2.2) — "
+                    "pass the computed rate, or mark zero_variance=True "
+                    "if the piece really is exact",
+                )
+            elif (
+                name == "SamplePiece"
+                and scale_expr is None
+                and "weights" not in kwargs
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "SamplePiece without scale=, weights=, or "
+                    "zero_variance=True defaults to scale=1.0 and "
+                    "silently under-scales a sampled piece; pass "
+                    "scale=1/r or per-row weights",
+                )

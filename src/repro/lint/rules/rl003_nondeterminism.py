@@ -1,0 +1,111 @@
+"""RL003 — nondeterminism in the deterministic layers.
+
+Sample construction, query execution, and the baseline techniques must
+be replayable: experiments cite seeds, property tests shrink, and the
+plan/parse memos assume identical inputs give identical outputs.  Fresh
+process entropy (``random.Random()`` with no seed, numpy's legacy
+global RNG, unseeded ``default_rng()``) and wall clocks (``time.time``,
+``datetime.now``) break that silently.  Only ``repro/datagen/``,
+``repro/experiments/``, and ``repro/cli.py`` may touch them; the
+monotonic ``time.perf_counter`` is allowed everywhere because elapsed
+timings are reporting, not behavior.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.core import FileContext, Finding, Rule, canonical_call_name, register
+
+SCOPE_PREFIXES = ("repro/core/", "repro/engine/", "repro/baselines/")
+
+#: Wall-clock reads (monotonic perf_counter is deliberately absent).
+WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Calls that always draw from unseeded process-global entropy.
+ENTROPY_ALWAYS = frozenset(
+    {
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.choice",
+        "random.choices",
+        "random.sample",
+        "random.shuffle",
+        "random.uniform",
+        "random.gauss",
+        "random.seed",
+        "random.getrandbits",
+        "random.SystemRandom",
+        "numpy.random.rand",
+        "numpy.random.randn",
+        "numpy.random.randint",
+        "numpy.random.random",
+        "numpy.random.choice",
+        "numpy.random.shuffle",
+        "numpy.random.permutation",
+        "numpy.random.uniform",
+        "numpy.random.normal",
+        "numpy.random.seed",
+        "uuid.uuid4",
+    }
+)
+
+#: Constructors that are fine seeded but entropy sources with no args.
+UNSEEDED_CONSTRUCTORS = frozenset(
+    {"random.Random", "numpy.random.default_rng"}
+)
+
+
+@register
+class Nondeterminism(Rule):
+    rule_id = "RL003"
+    title = "wall clock or fresh entropy in a deterministic layer"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.path.startswith(SCOPE_PREFIXES)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = canonical_call_name(node.func, ctx.aliases)
+            if name is None:
+                continue
+            if name in WALL_CLOCK:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() reads the wall clock in a deterministic "
+                    "layer; only datagen/, experiments/, and cli.py may "
+                    "(use time.perf_counter for elapsed timings)",
+                )
+            elif name in ENTROPY_ALWAYS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() draws from process-global entropy; thread "
+                    "a seeded numpy Generator through instead (see "
+                    "repro.engine.reservoir.as_generator)",
+                )
+            elif (
+                name in UNSEEDED_CONSTRUCTORS
+                and not node.args
+                and not node.keywords
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() without a seed is fresh entropy; pass the "
+                    "configured seed or an existing Generator",
+                )

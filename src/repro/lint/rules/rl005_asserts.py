@@ -1,0 +1,34 @@
+"""RL005 — ``assert`` used as a runtime guard in library code.
+
+``assert`` statements are compiled away under ``python -O``, so a guard
+written as an assert simply disappears in optimised deployments and the
+invariant it protected fails later, somewhere else, without a message.
+Library code must raise :mod:`repro.errors` types instead —
+:class:`~repro.errors.InternalError` for "can't happen" invariants —
+which also gives callers one catchable hierarchy.  (Tests are not
+linted; pytest asserts are idiomatic there.)
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.core import FileContext, Finding, Rule, register
+
+
+@register
+class AssertAsGuard(Rule):
+    rule_id = "RL005"
+    title = "bare assert guards vanish under python -O"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "assert statement enforces a runtime contract but is "
+                    "stripped under python -O; raise a repro.errors type "
+                    "(e.g. InternalError) with a message instead",
+                )

@@ -1,0 +1,52 @@
+"""RL006 — I/O purity: ``print`` belongs to the presentation layer.
+
+Engine, core, and technique code is used as a library (and under the
+experiment harness, per figure, thousands of times); a stray ``print``
+pollutes captured stdout, breaks ``--format json`` consumers, and is
+invisible to the reporting pipeline.  Only the CLI entry points and the
+reporting module may write to stdout directly.  ``breakpoint()`` is
+flagged everywhere — it is a debugging artifact, never shippable.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.core import FileContext, Finding, Rule, register
+
+#: Presentation-layer modules allowed to print.
+ALLOWED_FILES = frozenset(
+    {
+        "repro/cli.py",
+        "repro/lint/cli.py",
+        "repro/experiments/reporting.py",
+    }
+)
+
+
+@register
+class IOPurity(Rule):
+    rule_id = "RL006"
+    title = "print() outside the presentation layer"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        allowed = ctx.path in ALLOWED_FILES
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+            ):
+                continue
+            if node.func.id == "print" and not allowed:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "print() outside cli.py/experiments/reporting.py; "
+                    "return data and let the presentation layer render "
+                    "it, or route through repro.experiments.reporting",
+                )
+            elif node.func.id == "breakpoint":
+                yield self.finding(
+                    ctx, node, "breakpoint() left in library code"
+                )

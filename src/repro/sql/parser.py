@@ -52,7 +52,7 @@ from repro.engine.expressions import (
     Query,
     conjoin,
 )
-from repro.errors import SQLSyntaxError
+from repro.errors import InternalError, SQLSyntaxError
 from repro.sql.lexer import Token, TokenType, tokenize
 
 #: Name of the hidden bitmask column in rewritten queries.
@@ -294,7 +294,10 @@ class _Parser:
             self._advance()
             operands.append(self._conjunct())
         combined = conjoin(operands)
-        assert combined is not None
+        if combined is None:
+            raise InternalError(
+                "conjoin returned no predicate for a non-empty operand list"
+            )
         return combined
 
     def _conjunct(self) -> Predicate:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.engine.column import Column, ColumnKind
-from repro.errors import ColumnTypeError
+from repro.errors import ColumnTypeError, InternalError
 
 
 class TestConstruction:
@@ -173,3 +173,20 @@ class TestStats:
             Column.strings(["a"]).encode_value(3)
         with pytest.raises(ColumnTypeError):
             Column.ints([1]).encode_value("a")
+
+
+class TestRequireDictionary:
+    def test_string_column_returns_dictionary(self):
+        col = Column.strings(["a", "b"])
+        assert tuple(col.require_dictionary()) == ("a", "b")
+
+    def test_missing_dictionary_raises_internal_error(self):
+        # A guard, not an assert: it must survive python -O (RL005).
+        # The state is unreachable through constructors, so simulate the
+        # corruption directly.
+        col = Column.strings(["a"])
+        col.dictionary = None
+        with pytest.raises(InternalError):
+            col.require_dictionary()
+        with pytest.raises(InternalError):
+            col.to_list()

@@ -172,6 +172,53 @@ class TestAppendInvalidation:
         assert warm.raw_counts == cold.raw_counts
 
 
+class TestInvalidationSweep:
+    """RL001 bug-sweep regressions: every path that replaces a table
+    releases the cached artifacts anchored on the replaced objects."""
+
+    def test_drop_table_releases_cached_artifacts(self):
+        db = star_db()
+        cache = get_cache()
+        cache.clear()
+        dim = db.table("customers")
+        region = dim.column("region")
+        cache.put("group_ids", (region,), "ids")
+        cache.put("other", (dim,), "x")
+        invalidations_before = cache.metrics.invalidations
+        db.drop_table("customers")
+        assert cache.metrics.invalidations >= invalidations_before + 2
+        assert cache.get("group_ids", (region,)) is MISS
+        assert cache.get("other", (dim,)) is MISS
+
+    def test_insert_rows_invalidates_replaced_small_group_tables(self):
+        db = Database([generate_flat_table("flat", 3000, seed=7, **SPEC)])
+        sg = SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.05, use_reservoir=False, seed=7)
+        )
+        sg.preprocess(db)
+        cache = get_cache()
+        cache.clear()
+        # Warm entries anchored on the small-group tables' columns, the
+        # way a grouped query would.
+        anchored = []
+        for info in sg.sample_tables():
+            col = info.table.column("color")
+            cache.put("group_ids", (col,), "ids")
+            anchored.append((info.table, col))
+        sg.insert_rows(generate_flat_table("flat", 800, seed=8, **SPEC))
+        catalog = set(sg.sample_catalog().table_names)
+        for table, col in anchored:
+            replacement = None
+            for info in sg.sample_tables():
+                if info.table.name == table.name:
+                    replacement = info.table
+            assert replacement is not None and table.name in catalog
+            if replacement is not table:
+                # The table was replaced by concat: its old columns'
+                # entries must be gone, not served stale.
+                assert cache.get("group_ids", (col,)) is MISS
+
+
 class TestSessionMemos:
     def build(self):
         db = Database([generate_flat_table("flat", 3000, seed=7, **SPEC)])
