@@ -1,0 +1,155 @@
+"""Scaling benchmark for the parallel execution subsystem.
+
+Measures cold-workload wall time at 1/2/4/8 workers for (a) piece
+execution — the §4.2.2 UNION ALL scatter — and (b) the chunked
+pre-processing scans, and emits ``BENCH_parallel.json`` at the repo
+root (same shape as ``BENCH_engine_cache.json``).
+
+Two different assertions:
+
+* **Correctness is unconditional**: the answers must be byte-identical
+  at every worker count (the determinism contract of
+  ``docs/internals.md`` §8).
+* **Throughput is hardware-gated**: the >= 1.6x @ 4 workers check only
+  runs when the machine actually has >= 4 CPUs — threads cannot beat
+  the clock on a single core, and the recorded JSON carries
+  ``cpu_count`` so readers can interpret the numbers.
+
+Sizes honour ``REPRO_BENCH_ROWS`` (fact rows; default 60000) so the CI
+smoke step can run the same code path in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.combiner import execute_pieces
+from repro.core.smallgroup import SmallGroupConfig, SmallGroupSampling
+from repro.datagen.tpch import generate_tpch
+from repro.engine.parallel import ExecutionOptions, shutdown_pool
+from repro.engine.stats import collect_column_stats
+from repro.sql import parse_query
+
+WORKER_COUNTS = (1, 2, 4, 8)
+ROWS = int(os.environ.get("REPRO_BENCH_ROWS", "60000"))
+REPEATS = 3
+
+SQLS = [
+    "SELECT l_shipmode, p_brand, COUNT(*) AS cnt, SUM(l_quantity) AS qty "
+    "FROM lineitem GROUP BY l_shipmode, p_brand",
+    "SELECT o_custnation, l_returnflag, COUNT(*) AS cnt FROM lineitem "
+    "GROUP BY o_custnation, l_returnflag",
+    "SELECT p_brand, AVG(l_extendedprice) AS a FROM lineitem "
+    "GROUP BY p_brand",
+]
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_tpch(scale=1.0, z=1.5, rows_per_scale=ROWS, seed=30)
+
+
+@pytest.fixture(scope="module")
+def sg(db):
+    technique = SmallGroupSampling(
+        SmallGroupConfig(base_rate=0.04, use_reservoir=False)
+    )
+    technique.preprocess(db)
+    return technique
+
+
+def _answer_signature(answer):
+    """Exact (not approximate) content of an answer, for identity checks."""
+    return (
+        answer.group_columns,
+        answer.aggregate_names,
+        {
+            group: tuple((e.value, e.variance, e.exact) for e in estimates)
+            for group, estimates in answer.groups.items()
+        },
+    )
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_parallel_scaling(db, sg):
+    queries = [parse_query(sql) for sql in SQLS]
+    plans = [sg.choose_samples(query) for query in queries]
+    view = db.joined_view()
+
+    execution_seconds: dict[int, float] = {}
+    preprocess_seconds: dict[int, float] = {}
+    signatures: dict[int, list] = {}
+    stats_by_workers: dict[int, dict] = {}
+
+    for workers in WORKER_COUNTS:
+        options = ExecutionOptions(max_workers=workers, chunk_rows=8192)
+
+        def run_execution(options=options):
+            return [
+                execute_pieces(pieces, technique=sg.name, options=options)
+                for pieces in plans
+            ]
+
+        def run_preprocessing(options=options):
+            return collect_column_stats(view, options=options)
+
+        signatures[workers] = [
+            _answer_signature(a) for a in run_execution()
+        ]
+        stats_by_workers[workers] = run_preprocessing()
+        execution_seconds[workers] = _best_of(run_execution)
+        preprocess_seconds[workers] = _best_of(run_preprocessing)
+    shutdown_pool()
+
+    # Correctness gate (unconditional): byte-identical answers and
+    # identical pre-processing statistics at every worker count.
+    for workers in WORKER_COUNTS[1:]:
+        assert signatures[workers] == signatures[1], workers
+        serial_stats = stats_by_workers[1]
+        assert set(stats_by_workers[workers]) == set(serial_stats)
+        for name, stats in serial_stats.items():
+            assert (
+                stats_by_workers[workers][name].frequencies
+                == stats.frequencies
+            ), (workers, name)
+
+    cpu_count = os.cpu_count() or 1
+    execution_speedup_4 = execution_seconds[1] / execution_seconds[4]
+    preprocess_speedup_4 = preprocess_seconds[1] / preprocess_seconds[4]
+    payload = {
+        "benchmark": "parallel_scaling",
+        "fact_rows": db.fact_table.n_rows,
+        "queries": len(SQLS),
+        "repeats": REPEATS,
+        "cpu_count": cpu_count,
+        "worker_counts": list(WORKER_COUNTS),
+        "execution_seconds": {
+            str(w): round(s, 6) for w, s in execution_seconds.items()
+        },
+        "preprocess_seconds": {
+            str(w): round(s, 6) for w, s in preprocess_seconds.items()
+        },
+        "execution_speedup_at_4": round(execution_speedup_4, 3),
+        "preprocess_speedup_at_4": round(preprocess_speedup_4, 3),
+        "answers_identical_across_workers": True,
+    }
+    out = Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Throughput gate (hardware-dependent): threads cannot beat the
+    # clock on fewer than 4 cores, so the 1.6x bar only applies there.
+    if cpu_count >= 4:
+        assert execution_speedup_4 >= 1.6, payload

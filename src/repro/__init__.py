@@ -63,6 +63,7 @@ from repro.engine import (
     AggregateSpec,
     Column,
     Database,
+    ExecutionOptions,
     ForeignKey,
     GroupedResult,
     InSet,
@@ -97,6 +98,7 @@ __all__ = [
     "CongressConfig",
     "Database",
     "DynamicSampleSelection",
+    "ExecutionOptions",
     "ForeignKey",
     "GroupEstimate",
     "GroupedResult",

@@ -30,6 +30,7 @@ from repro.experiments.figures import (
     run_table_outlier,
     run_table_preprocessing,
 )
+from repro.engine.parallel import ExecutionOptions, set_default_options
 from repro.experiments.reporting import format_table, write_csv
 
 #: Figure id → (description, full runner, quick runner).
@@ -142,6 +143,16 @@ def build_parser() -> argparse.ArgumentParser:
             "Processing' (SIGMOD 2003)"
         ),
     )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=1,
+        help=(
+            "worker threads for piece execution and chunked preprocessing "
+            "(1 = serial, 0 = one per CPU); answers are identical for any "
+            "value"
+        ),
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list reproducible figures/tables")
     figure = subparsers.add_parser(
@@ -208,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    set_default_options(ExecutionOptions(max_workers=args.max_workers))
     if args.command == "list":
         rows = [[fid, desc] for fid, (desc, _, _) in FIGURES.items()]
         print(format_table(["id", "description"], rows))

@@ -28,6 +28,11 @@ from repro.core.answer import ApproxAnswer, GroupEstimate, GroupKey
 from repro.core.rewriter import SamplePiece, pieces_to_sql
 from repro.engine.executor import aggregate_table, order_limit_groups
 from repro.engine.expressions import AggFunc, AggregateSpec, Query
+from repro.engine.parallel import (
+    ExecutionOptions,
+    parallel_map,
+    resolve_options,
+)
 from repro.errors import RuntimePhaseError
 
 
@@ -125,12 +130,42 @@ def _plan_components(
     return components, outputs
 
 
+def _execute_one_piece(item: tuple[SamplePiece, Query]):
+    """Aggregate one rewritten piece (the unit of work scattered to the
+    worker pool).
+
+    Pure function of its piece: it reads sample tables and the execution
+    cache (both thread-safe) and mutates no shared engine state — the
+    property lint rule RL007 enforces for everything submitted to the
+    pool.
+    """
+    piece, exec_query = item
+    return aggregate_table(
+        piece.table,
+        exec_query,
+        weights=piece.weights,
+        scale=piece.scale,
+        collect_variance_stats=not piece.zero_variance,
+        variance_weights=piece.variance_weights,
+    )
+
+
 def execute_pieces(
     pieces: list[SamplePiece],
     technique: str,
     emit_sql: bool = True,
+    options: ExecutionOptions | None = None,
 ) -> ApproxAnswer:
-    """Execute rewritten pieces and combine them into an answer."""
+    """Execute rewritten pieces and combine them into an answer.
+
+    The pieces are independent strata (the paper's UNION ALL branches),
+    so they scatter across the shared worker pool when
+    ``options.max_workers > 1``.  The gather is by piece index: partial
+    per-group results are folded in the original piece order regardless
+    of completion order, so the floating-point accumulation associates
+    exactly as in the serial loop and the answer is byte-identical for
+    any worker count.
+    """
     if not pieces:
         raise RuntimePhaseError("rewritten query has no pieces")
     aggregates = pieces[0].query.aggregates
@@ -164,16 +199,14 @@ def execute_pieces(
         o.sum_component for o in outputs if isinstance(o, _RatioOutput)
     ]
 
-    for piece, exec_query in exec_pieces:
+    options = resolve_options(options)
+    piece_results = parallel_map(
+        _execute_one_piece, exec_pieces, options.workers
+    )
+
+    # Deterministic combine: fold partials in piece-index order.
+    for (piece, exec_query), result in zip(exec_pieces, piece_results):
         rows_scanned += piece.table.n_rows
-        result = aggregate_table(
-            piece.table,
-            exec_query,
-            weights=piece.weights,
-            scale=piece.scale,
-            collect_variance_stats=not piece.zero_variance,
-            variance_weights=piece.variance_weights,
-        )
         for group, row in result.rows.items():
             if group not in values:
                 values[group] = [0.0] * n_components

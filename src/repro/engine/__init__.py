@@ -25,6 +25,12 @@ from repro.engine.expressions import (
     Query,
     conjoin,
 )
+from repro.engine.parallel import (
+    ExecutionOptions,
+    get_default_options,
+    set_default_options,
+    shutdown_pool,
+)
 from repro.engine.reservoir import (
     ReservoirSampler,
     bernoulli_sample_indices,
@@ -57,6 +63,7 @@ __all__ = [
     "Database",
     "DEFAULT_DISTINCT_THRESHOLD",
     "Equals",
+    "ExecutionOptions",
     "ForeignKey",
     "GroupedResult",
     "InSet",
@@ -72,7 +79,10 @@ __all__ = [
     "column_stats",
     "conjoin",
     "execute",
+    "get_default_options",
     "per_group_selectivity",
+    "set_default_options",
+    "shutdown_pool",
     "uniform_sample_indices",
     "weighted_sample_indices",
 ]

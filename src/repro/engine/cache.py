@@ -35,6 +35,7 @@ re-exported through :mod:`repro.metrics`.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections.abc import Callable, Hashable, Sequence
 from dataclasses import dataclass, field
@@ -48,55 +49,76 @@ MISS = object()
 class CacheMetrics:
     """Hit/miss counters per cache kind (``group_ids``, ``join_positions``,
     ``predicate_mask``, ``column_codes``, ``joined_column``, ``sql_parse``,
-    ``plan`` ...)."""
+    ``plan`` ...).
+
+    Counter updates take a private lock: dict read-modify-write is not
+    atomic under free-running threads, and the thread-safety contract of
+    :class:`ExecutionCache` promises that hits + misses equals the number
+    of lookups even under concurrent hammering.
+    """
 
     hits: dict[str, int] = field(default_factory=dict)
     misses: dict[str, int] = field(default_factory=dict)
     invalidations: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record_hit(self, kind: str) -> None:
         """Count one cache hit for ``kind``."""
-        self.hits[kind] = self.hits.get(kind, 0) + 1
+        with self._lock:
+            self.hits[kind] = self.hits.get(kind, 0) + 1
 
     def record_miss(self, kind: str) -> None:
         """Count one cache miss for ``kind``."""
-        self.misses[kind] = self.misses.get(kind, 0) + 1
+        with self._lock:
+            self.misses[kind] = self.misses.get(kind, 0) + 1
+
+    def record_invalidations(self, count: int) -> None:
+        """Count ``count`` invalidated entries."""
+        with self._lock:
+            self.invalidations += count
 
     def hit_rate(self, kind: str) -> float:
         """Fraction of lookups served from cache (NaN when never looked up)."""
-        hits = self.hits.get(kind, 0)
-        total = hits + self.misses.get(kind, 0)
+        with self._lock:
+            hits = self.hits.get(kind, 0)
+            total = hits + self.misses.get(kind, 0)
         return hits / total if total else float("nan")
 
     def total_hits(self) -> int:
         """Hits summed across every kind."""
-        return sum(self.hits.values())
+        with self._lock:
+            return sum(self.hits.values())
 
     def total_misses(self) -> int:
         """Misses summed across every kind."""
-        return sum(self.misses.values())
+        with self._lock:
+            return sum(self.misses.values())
 
     def snapshot(self) -> dict:
         """A plain-dict view for reports and benchmark JSON."""
-        kinds = sorted(set(self.hits) | set(self.misses))
-        return {
-            "hits": dict(self.hits),
-            "misses": dict(self.misses),
-            "invalidations": self.invalidations,
-            "by_kind": {
-                k: {
-                    "hits": self.hits.get(k, 0),
-                    "misses": self.misses.get(k, 0),
-                }
-                for k in kinds
-            },
-        }
+        with self._lock:
+            kinds = sorted(set(self.hits) | set(self.misses))
+            return {
+                "hits": dict(self.hits),
+                "misses": dict(self.misses),
+                "invalidations": self.invalidations,
+                "by_kind": {
+                    k: {
+                        "hits": self.hits.get(k, 0),
+                        "misses": self.misses.get(k, 0),
+                    }
+                    for k in kinds
+                },
+            }
 
     def reset(self) -> None:
         """Zero all counters."""
-        self.hits.clear()
-        self.misses.clear()
-        self.invalidations = 0
+        with self._lock:
+            self.hits.clear()
+            self.misses.clear()
+            self.invalidations = 0
 
 
 class ExecutionCache:
@@ -104,11 +126,27 @@ class ExecutionCache:
 
     The cache never copies what it stores; callers must treat cached
     arrays as immutable (the engine's columns already are, by convention).
+
+    Thread safety
+    -------------
+    One re-entrant lock serialises every structural operation — lookup,
+    insert, invalidation, clear — and the metrics counters take their
+    own lock, so concurrent sessions (and the parallel piece executor)
+    can share the process-wide cache without lost updates or torn
+    entries.  The lock is *never* held while a value is computed:
+    :meth:`get_or_compute` releases it between the miss and the put, so
+    two threads missing the same key may both compute it (a benign
+    stampede — the work is idempotent and last-put-wins) rather than one
+    thread blocking the whole cache behind an expensive ``numpy`` call.
+    The lock is re-entrant because weakref death callbacks call
+    :meth:`_remove_key` and garbage collection can trigger them while
+    the owning thread already holds the lock.
     """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.metrics = CacheMetrics()
+        self._lock = threading.RLock()
         # key -> (anchor weakrefs, anchor ids, value)
         self._entries: dict[tuple, tuple[tuple, tuple[int, ...], Any]] = {}
         # id(anchor) -> keys anchored on it, for invalidation / GC pruning
@@ -123,15 +161,16 @@ class ExecutionCache:
         return (kind, tuple(id(a) for a in anchors), extra)
 
     def _remove_key(self, key: tuple) -> None:
-        entry = self._entries.pop(key, None)
-        if entry is None:
-            return
-        for anchor_id in entry[1]:
-            keys = self._anchor_keys.get(anchor_id)
-            if keys is not None:
-                keys.discard(key)
-                if not keys:
-                    del self._anchor_keys[anchor_id]
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return
+            for anchor_id in entry[1]:
+                keys = self._anchor_keys.get(anchor_id)
+                if keys is not None:
+                    keys.discard(key)
+                    if not keys:
+                        del self._anchor_keys[anchor_id]
 
     def get(self, kind: str, anchors: Sequence[Any], extra: Hashable = None):
         """Return the cached value or :data:`MISS`.
@@ -142,18 +181,19 @@ class ExecutionCache:
         if not self.enabled:
             return MISS
         key = self._key(kind, anchors, extra)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.metrics.record_miss(kind)
-            return MISS
-        refs, _, value = entry
-        for ref, anchor in zip(refs, anchors):
-            if ref() is not anchor:
-                self._remove_key(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
                 self.metrics.record_miss(kind)
                 return MISS
-        self.metrics.record_hit(kind)
-        return value
+            refs, _, value = entry
+            for ref, anchor in zip(refs, anchors):
+                if ref() is not anchor:
+                    self._remove_key(key)
+                    self.metrics.record_miss(kind)
+                    return MISS
+            self.metrics.record_hit(kind)
+            return value
 
     def put(
         self,
@@ -182,10 +222,11 @@ class ExecutionCache:
         except TypeError:
             return
         anchor_ids = tuple(id(a) for a in anchors)
-        self._remove_key(key)
-        self._entries[key] = (refs, anchor_ids, value)
-        for anchor_id in anchor_ids:
-            self._anchor_keys.setdefault(anchor_id, set()).add(key)
+        with self._lock:
+            self._remove_key(key)
+            self._entries[key] = (refs, anchor_ids, value)
+            for anchor_id in anchor_ids:
+                self._anchor_keys.setdefault(anchor_id, set()).add(key)
 
     def get_or_compute(
         self,
@@ -194,7 +235,12 @@ class ExecutionCache:
         compute: Callable[[], Any],
         extra: Hashable = None,
     ):
-        """Cached value for the key, computing and storing it on a miss."""
+        """Cached value for the key, computing and storing it on a miss.
+
+        The lock is not held across ``compute()``: concurrent misses on
+        the same key stampede (each computes, last put wins) instead of
+        serialising every cache user behind one computation.
+        """
         value = self.get(kind, anchors, extra)
         if value is MISS:
             value = compute()
@@ -206,18 +252,19 @@ class ExecutionCache:
     # ------------------------------------------------------------------
     def invalidate_object(self, obj: Any) -> int:
         """Drop every entry anchored on ``obj``; returns entries dropped."""
-        keys = self._anchor_keys.get(id(obj))
-        if not keys:
-            return 0
-        dropped = 0
-        for key in list(keys):
-            entry = self._entries.get(key)
-            # id() reuse guard: only drop entries whose weakref still
-            # resolves to this exact object.
-            if entry is not None and any(r() is obj for r in entry[0]):
-                self._remove_key(key)
-                dropped += 1
-        self.metrics.invalidations += dropped
+        with self._lock:
+            keys = self._anchor_keys.get(id(obj))
+            if not keys:
+                return 0
+            dropped = 0
+            for key in list(keys):
+                entry = self._entries.get(key)
+                # id() reuse guard: only drop entries whose weakref still
+                # resolves to this exact object.
+                if entry is not None and any(r() is obj for r in entry[0]):
+                    self._remove_key(key)
+                    dropped += 1
+        self.metrics.record_invalidations(dropped)
         return dropped
 
     def invalidate_table(self, table: Any) -> int:
@@ -235,11 +282,13 @@ class ExecutionCache:
 
     def clear(self) -> None:
         """Drop every entry (counters are kept; use ``metrics.reset()``)."""
-        self._entries.clear()
-        self._anchor_keys.clear()
+        with self._lock:
+            self._entries.clear()
+            self._anchor_keys.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 #: Process-wide cache shared by the executor, expression evaluation, and

@@ -27,6 +27,11 @@ from repro.engine.cache import MISS, get_cache
 from repro.engine.column import Column, ColumnKind
 from repro.engine.database import Database, gather_dimension_column
 from repro.engine.expressions import AggFunc, AggregateSpec, Query
+from repro.engine.parallel import (
+    ExecutionOptions,
+    parallel_map,
+    resolve_options,
+)
 from repro.engine.table import Table
 from repro.errors import QueryError
 
@@ -481,12 +486,27 @@ def _apply_order_limit(result: GroupedResult, query: Query) -> None:
         }
 
 
-def resolve_columns(db: Database, query: Query) -> Table:
+def _gather_one_dimension(item: tuple[str, Column, Column, Column]) -> tuple[str, Column]:
+    """Gather one dimension column through the star join (pool task).
+
+    Reads stored columns and the execution cache only (both
+    thread-safe); mutates no shared engine state (RL007).
+    """
+    name, fact_key_col, dim_key_col, dim_col = item
+    return name, gather_dimension_column(fact_key_col, dim_key_col, dim_col)
+
+
+def resolve_columns(
+    db: Database, query: Query, options: ExecutionOptions | None = None
+) -> Table:
     """Build a flat table containing every column the query references.
 
     Fact columns are used as stored; dimension columns are brought in by
     resolving the star schema's foreign-key joins (hash-free positional
-    join via sorted search), touching only the dimensions actually needed.
+    join via sorted search), touching only the dimensions actually
+    needed.  Distinct dimension columns are independent gathers, so they
+    scatter across the worker pool when ``options.max_workers > 1``; the
+    results are inserted back in a deterministic task order.
     """
     fact = db.fact_table
     needed = query.referenced_columns()
@@ -502,6 +522,7 @@ def resolve_columns(db: Database, query: Query) -> Table:
             raise QueryError(
                 f"columns {sorted(missing)} not found in table {fact.name!r}"
             )
+        tasks: list[tuple[str, Column, Column, Column]] = []
         for fk in db.star_schema.foreign_keys:
             dim = db.table(fk.dimension_table)
             dim_needed = [c for c in missing if dim.has_column(c)]
@@ -510,12 +531,15 @@ def resolve_columns(db: Database, query: Query) -> Table:
             fact_key_col = fact.column(fk.fact_column)
             dim_key_col = dim.column(fk.dimension_key)
             for c in dim_needed:
-                columns[c] = gather_dimension_column(
-                    fact_key_col, dim_key_col, dim.column(c)
-                )
+                tasks.append((c, fact_key_col, dim_key_col, dim.column(c)))
                 missing.discard(c)
         if missing:
             raise QueryError(f"columns {sorted(missing)} not found in any table")
+        options = resolve_options(options)
+        for name, gathered in parallel_map(
+            _gather_one_dimension, tasks, options.workers
+        ):
+            columns[name] = gathered
     if not columns:
         # COUNT(*) with no predicates or grouping still needs row extent.
         first = fact.column_names[0]
@@ -523,7 +547,9 @@ def resolve_columns(db: Database, query: Query) -> Table:
     return Table(fact.name, columns)
 
 
-def execute(db: Database, query: Query) -> GroupedResult:
+def execute(
+    db: Database, query: Query, options: ExecutionOptions | None = None
+) -> GroupedResult:
     """Execute ``query`` exactly against the database."""
     if not db.has_table(query.table):
         raise QueryError(f"unknown table {query.table!r}")
@@ -532,5 +558,5 @@ def execute(db: Database, query: Query) -> GroupedResult:
             f"queries must target the fact table "
             f"{db.star_schema.fact_table!r}, got {query.table!r}"
         )
-    flat = resolve_columns(db, query)
+    flat = resolve_columns(db, query, options)
     return aggregate_table(flat, query)

@@ -18,7 +18,8 @@ from typing import Any
 
 import numpy as np
 
-from repro.engine.column import ColumnKind
+from repro.engine.column import Column, ColumnKind
+from repro.engine.parallel import ExecutionOptions, map_row_chunks, resolve_options
 from repro.engine.table import Table
 
 #: Distinct-value cutoff used in the paper's experiments.
@@ -89,10 +90,26 @@ def column_stats(table: Table, name: str) -> ColumnStats:
     return ColumnStats(name=name, kind=col.kind, frequencies=col.value_counts())
 
 
+def _decode_counts(col: Column, raw_counts: dict[Any, int]) -> dict[Any, int]:
+    """Map raw-representation counts to decoded-value counts.
+
+    Keys come back sorted by raw value, matching the ``numpy.unique``
+    order :meth:`Column.value_counts` produces.
+    """
+    items = sorted(raw_counts.items())
+    if col.kind is ColumnKind.STRING:
+        dictionary = col.require_dictionary()
+        return {dictionary[int(v)]: c for v, c in items}
+    if col.kind is ColumnKind.INT:
+        return {int(v): c for v, c in items}
+    return {float(v): c for v, c in items}
+
+
 def collect_column_stats(
     table: Table,
     columns: list[str] | None = None,
     distinct_threshold: int = DEFAULT_DISTINCT_THRESHOLD,
+    options: ExecutionOptions | None = None,
 ) -> dict[str, ColumnStats]:
     """First pre-processing scan: frequency maps for retained columns.
 
@@ -100,9 +117,20 @@ def collect_column_stats(
     dropped (they are poor grouping candidates and their hashtables would
     be large — Section 4.2.1).  The scan is vectorised per column; the
     effect is identical to the paper's streaming hashtable build.
+
+    With ``options.max_workers > 1`` the scan is chunked over row
+    ranges: every chunk builds one value histogram per candidate column
+    and the per-chunk histograms are map-reduced by summation.  Counts
+    are integers, so the reduction is exact and the result is identical
+    to the serial scan for any worker count.
     """
     if columns is None:
         columns = table.column_names
+    options = resolve_options(options)
+    if options.workers > 1 and table.n_rows > options.chunk_rows:
+        return _collect_column_stats_chunked(
+            table, columns, distinct_threshold, options
+        )
     retained: dict[str, ColumnStats] = {}
     for name in columns:
         col = table.column(name)
@@ -111,6 +139,42 @@ def collect_column_stats(
         if col.distinct_count() > distinct_threshold:
             continue
         retained[name] = column_stats(table, name)
+    return retained
+
+
+def _collect_column_stats_chunked(
+    table: Table,
+    columns: list[str],
+    distinct_threshold: int,
+    options: ExecutionOptions,
+) -> dict[str, ColumnStats]:
+    """Chunked map-reduce variant of :func:`collect_column_stats`."""
+    cols = [(name, table.column(name)) for name in columns]
+    cols = [(name, col) for name, col in cols if len(col) > 0]
+    if not cols:
+        return {}
+
+    def _histograms(start: int, stop: int) -> list[dict[Any, int]]:
+        out: list[dict[Any, int]] = []
+        for _, col in cols:
+            values, counts = np.unique(
+                col.data[start:stop], return_counts=True
+            )
+            out.append(dict(zip(values.tolist(), counts.tolist())))
+        return out
+
+    merged: list[dict[Any, int]] = [{} for _ in cols]
+    for chunk in map_row_chunks(_histograms, table.n_rows, options):
+        for acc, part in zip(merged, chunk):
+            for value, count in part.items():
+                acc[value] = acc.get(value, 0) + count
+    retained: dict[str, ColumnStats] = {}
+    for (name, col), raw_counts in zip(cols, merged):
+        if len(raw_counts) > distinct_threshold:
+            continue
+        retained[name] = ColumnStats(
+            name=name, kind=col.kind, frequencies=_decode_counts(col, raw_counts)
+        )
     return retained
 
 

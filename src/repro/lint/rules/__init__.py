@@ -15,4 +15,5 @@ from repro.lint.rules import (  # noqa: F401
     rl004_cache_keys,
     rl005_asserts,
     rl006_io_purity,
+    rl007_shared_state,
 )

@@ -11,6 +11,7 @@ logged so the observed workload can drive workload-aware tuning
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -21,6 +22,7 @@ from repro.engine.cache import get_cache
 from repro.engine.database import Database
 from repro.engine.executor import GroupedResult, execute
 from repro.engine.expressions import Query
+from repro.engine.parallel import ExecutionOptions
 from repro.errors import RuntimePhaseError
 from repro.experiments.reporting import format_table
 from repro.sql.parser import parse_query
@@ -94,14 +96,31 @@ class _LogEntry:
 
 
 class AQPSession:
-    """SQL-in / answers-out middleware over a database and an AQP technique."""
+    """SQL-in / answers-out middleware over a database and an AQP technique.
+
+    Safe for concurrent :meth:`sql` / :meth:`execute` callers: the query
+    log and the parse/plan memos take the session lock, and the engine
+    layers underneath (execution cache, worker pool) are thread-safe.
+    The lock is never held across parsing, rewriting, or execution —
+    concurrent misses on the same memo key recompute independently
+    (benign stampede, last put wins) rather than serialising the
+    session.  :meth:`install` is the exception: installing a technique
+    while queries are in flight is not supported.
+    """
 
     def __init__(
-        self, db: Database, technique: AQPTechnique | None = None
+        self,
+        db: Database,
+        technique: AQPTechnique | None = None,
+        options: ExecutionOptions | None = None,
     ) -> None:
         self.db = db
         self.technique = technique
         self.report: PreprocessReport | None = None
+        #: Parallelism knobs forwarded to piece execution and the exact
+        #: executor; ``None`` uses the process-wide defaults.
+        self.options = options
+        self._lock = threading.Lock()
         self._log: list[_LogEntry] = []
         # SQL text -> parsed Query (parse is deterministic, text is frozen).
         self._parse_memo: dict[str, Query] = {}
@@ -147,26 +166,29 @@ class AQPSession:
             result.approx_seconds = time.perf_counter() - start
         if mode in ("exact", "both"):
             start = time.perf_counter()
-            result.exact = execute(self.db, query)
+            result.exact = execute(self.db, query, options=self.options)
             result.exact_seconds = time.perf_counter() - start
-        self._log.append(
-            _LogEntry(
-                sql=text,
-                query=query,
-                mode=mode,
-                seconds=result.approx_seconds or result.exact_seconds,
+        with self._lock:
+            self._log.append(
+                _LogEntry(
+                    sql=text,
+                    query=query,
+                    mode=mode,
+                    seconds=result.approx_seconds or result.exact_seconds,
+                )
             )
-        )
         return result
 
     def _parse(self, text: str) -> Query:
         """Parse SQL, memoising by exact text (parsing is deterministic)."""
         metrics = get_cache().metrics
-        query = self._parse_memo.get(text)
+        with self._lock:
+            query = self._parse_memo.get(text)
         if query is None:
             metrics.record_miss("sql_parse")
             query = parse_query(text)
-            self._parse_memo[text] = query
+            with self._lock:
+                self._parse_memo[text] = query
         else:
             metrics.record_hit("sql_parse")
         return query
@@ -188,7 +210,8 @@ class AQPSession:
             return technique.answer(query)
         metrics = get_cache().metrics
         try:
-            entry = self._plan_memo.get(query)
+            with self._lock:
+                entry = self._plan_memo.get(query)
         except TypeError:  # unhashable literal somewhere in the query
             return technique.answer(query)
         if (
@@ -202,8 +225,11 @@ class AQPSession:
             metrics.record_miss("plan")
             technique.require_preprocessed()
             pieces = chooser(query)
-            self._plan_memo[query] = (technique, version, pieces)
-        return execute_pieces(pieces, technique=technique.name)
+            with self._lock:
+                self._plan_memo[query] = (technique, version, pieces)
+        return execute_pieces(
+            pieces, technique=technique.name, options=self.options
+        )
 
     def explain(self, text: str) -> str:
         """Describe how the installed technique would answer ``text``.

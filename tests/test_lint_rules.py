@@ -309,6 +309,101 @@ class TestRL006IOPurity:
             assert run_rule("RL006", source, path) == []
 
 
+class TestRL007SharedStateInPoolTask:
+    BAD = """
+        def _task(item):
+            cache = get_cache()
+            cache._entries[item] = compute(item)
+            return item
+
+        def run(items, options):
+            return parallel_map(_task, items, options.workers)
+    """
+
+    GOOD_LOCKED = """
+        class Cache:
+            def _task(self, item):
+                with self._lock:
+                    self._entries[item] = compute(item)
+                return item
+
+            def run(self, items, options):
+                return parallel_map(self._task, items, options.workers)
+    """
+
+    def test_fires_on_unlocked_mutation_in_submitted_function(self):
+        findings = run_rule("RL007", self.BAD, "repro/engine/foo.py")
+        assert len(findings) == 1
+        assert findings[0].symbol == "_task"
+        assert "_entries" in findings[0].message
+
+    def test_lock_guarded_mutation_passes(self):
+        assert (
+            run_rule("RL007", self.GOOD_LOCKED, "repro/engine/foo.py") == []
+        )
+
+    def test_function_not_submitted_is_out_of_scope(self):
+        source = """
+            def serial_only(cache, item):
+                cache._entries[item] = compute(item)
+        """
+        assert run_rule("RL007", source, "repro/engine/foo.py") == []
+
+    def test_out_of_scope_file_ignored(self):
+        assert run_rule("RL007", self.BAD, "repro/workload/foo.py") == []
+
+    def test_pool_module_functions_always_in_scope(self):
+        source = """
+            def helper():
+                global _POOL
+                _POOL = make_pool()
+        """
+        findings = run_rule("RL007", source, "repro/engine/parallel.py")
+        assert len(findings) == 1
+        assert "_POOL" in findings[0].message
+
+    def test_pool_module_locked_global_passes(self):
+        source = """
+            def helper():
+                global _POOL
+                with _POOL_LOCK:
+                    _POOL = make_pool()
+        """
+        assert run_rule("RL007", source, "repro/engine/parallel.py") == []
+
+    def test_fires_on_mutating_method_call(self):
+        source = """
+            def _collect(item):
+                results._log.append(item)
+                return item
+
+            def run(items, n):
+                return parallel_map(_collect, items, n)
+        """
+        findings = run_rule("RL007", source, "repro/middleware/foo.py")
+        assert len(findings) == 1
+        assert "_log" in findings[0].message
+
+    def test_fires_on_submitted_lambda(self):
+        source = """
+            def run(pool, table, rows):
+                return pool.submit(lambda r: table._columns.update(r), rows)
+        """
+        findings = run_rule("RL007", source, "repro/engine/foo.py")
+        assert len(findings) == 1
+        assert "_columns" in findings[0].message
+
+    def test_pure_submitted_closure_passes(self):
+        source = """
+            def run(table, options):
+                def _membership(start, stop):
+                    return np.isin(table.data[start:stop], codes)
+
+                return map_row_chunks(_membership, table.n_rows, options)
+        """
+        assert run_rule("RL007", source, "repro/core/smallgroup.py") == []
+
+
 class TestInfrastructure:
     def test_unparsable_file_is_reported_not_raised(self):
         findings = lint_source("def broken(:", "repro/engine/foo.py")
@@ -322,7 +417,7 @@ class TestInfrastructure:
     def test_every_rule_has_id_and_title(self):
         rules = all_rules()
         assert [r.rule_id for r in rules] == sorted(
-            f"RL00{i}" for i in range(1, 7)
+            f"RL00{i}" for i in range(1, 8)
         )
         assert all(r.title for r in rules)
 

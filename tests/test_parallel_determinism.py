@@ -1,0 +1,208 @@
+"""Determinism of parallel execution: answers are identical at every
+worker count.
+
+The engine's contract (docs/internals.md §8) is that ``max_workers`` is
+a pure throughput knob: the scatter/gather combines partial results in
+piece/chunk-index order, so every estimate, variance, and confidence
+interval is byte-identical whether the work ran on 1, 2, or 8 threads.
+These tests pin that contract for the small-group path, the congress
+baseline, the exact executor, pre-processing, and concurrent middleware
+sessions.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.baselines.congress import BasicCongress, CongressConfig
+from repro.core.smallgroup import SmallGroupConfig, SmallGroupSampling
+from repro.engine.executor import execute
+from repro.engine.parallel import (
+    ExecutionOptions,
+    set_default_options,
+    shutdown_pool,
+)
+from repro.engine.stats import collect_column_stats
+from repro.middleware.session import AQPSession
+from repro.sql.parser import parse_query
+
+WORKER_COUNTS = (1, 2, 8)
+
+SG_SQL = (
+    "SELECT l_shipmode, p_brand, COUNT(*) AS cnt, SUM(l_quantity) AS qty "
+    "FROM lineitem GROUP BY l_shipmode, p_brand"
+)
+CONGRESS_SQL = (
+    "SELECT color, shape, COUNT(*) AS cnt, AVG(amount) AS avg_amount "
+    "FROM flat GROUP BY color, shape"
+)
+
+
+@pytest.fixture()
+def worker_sweep():
+    """Run a callable under each worker count via the process defaults."""
+
+    previous = None
+
+    def sweep(answer_fn):
+        nonlocal previous
+        answers = {}
+        for workers in WORKER_COUNTS:
+            before = set_default_options(
+                ExecutionOptions(max_workers=workers, chunk_rows=512)
+            )
+            if previous is None:
+                previous = before
+            answers[workers] = answer_fn()
+        return answers
+
+    yield sweep
+    if previous is not None:
+        set_default_options(previous)
+    shutdown_pool()
+
+
+def assert_identical_answers(answers):
+    """Every answer must match the serial one exactly — not approximately."""
+    base = answers[1]
+    for workers, answer in answers.items():
+        assert answer.group_columns == base.group_columns, workers
+        assert answer.aggregate_names == base.aggregate_names, workers
+        assert set(answer.groups) == set(base.groups), workers
+        for group, estimates in base.groups.items():
+            others = answer.groups[group]
+            for mine, other in zip(estimates, others):
+                assert other.value == mine.value, (workers, group)
+                assert other.variance == mine.variance, (workers, group)
+                assert other.exact == mine.exact, (workers, group)
+                assert other.confidence_interval() == (
+                    mine.confidence_interval()
+                ), (workers, group)
+        assert answer.rows_scanned == base.rows_scanned, workers
+
+
+class TestSmallGroupDeterminism:
+    def test_answers_identical_across_worker_counts(
+        self, tiny_tpch, worker_sweep
+    ):
+        technique = SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.05, seed=7, use_reservoir=False)
+        )
+        technique.preprocess(tiny_tpch)
+        query = parse_query(SG_SQL)
+        assert_identical_answers(worker_sweep(lambda: technique.answer(query)))
+
+    def test_preprocessing_identical_across_worker_counts(self, tiny_tpch):
+        # Build the sample layout serially and with a chunked parallel
+        # scan; the stored samples (and therefore any answer) must match.
+        query = parse_query(SG_SQL)
+        answers = {}
+        for workers in (1, 4):
+            technique = SmallGroupSampling(
+                SmallGroupConfig(base_rate=0.05, seed=7, use_reservoir=False),
+                options=ExecutionOptions(max_workers=workers, chunk_rows=512),
+            )
+            technique.preprocess(tiny_tpch)
+            answers[workers] = technique.answer(query)
+        shutdown_pool()
+        assert_identical_answers(answers)
+
+
+class TestCongressDeterminism:
+    def test_answers_identical_across_worker_counts(
+        self, flat_db, worker_sweep
+    ):
+        technique = BasicCongress(CongressConfig(rates=(0.05,), seed=3))
+        technique.preprocess(flat_db)
+        query = parse_query(CONGRESS_SQL)
+        assert_identical_answers(worker_sweep(lambda: technique.answer(query)))
+
+
+class TestExactExecutorDeterminism:
+    def test_star_join_results_identical(self, tiny_tpch):
+        query = parse_query(
+            "SELECT s_region, o_custregion, COUNT(*) AS cnt, "
+            "SUM(l_quantity) AS qty FROM lineitem "
+            "GROUP BY s_region, o_custregion"
+        )
+        serial = execute(tiny_tpch, query, options=ExecutionOptions())
+        parallel = execute(
+            tiny_tpch,
+            query,
+            options=ExecutionOptions(max_workers=4, chunk_rows=512),
+        )
+        shutdown_pool()
+        assert parallel.rows == serial.rows
+
+
+class TestPreprocessingScanDeterminism:
+    def test_chunked_stats_match_serial(self, flat_db):
+        table = flat_db.fact_table
+        serial = collect_column_stats(table, options=ExecutionOptions())
+        chunked = collect_column_stats(
+            table,
+            options=ExecutionOptions(max_workers=4, chunk_rows=333),
+        )
+        shutdown_pool()
+        assert set(chunked) == set(serial)
+        for name, stats in serial.items():
+            assert chunked[name].kind is stats.kind
+            assert chunked[name].frequencies == stats.frequencies
+
+
+class TestConcurrentSessions:
+    def test_concurrent_sql_matches_serial_answers(self, tiny_tpch):
+        technique = SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.05, seed=7, use_reservoir=False)
+        )
+        technique.preprocess(tiny_tpch)
+        session = AQPSession(
+            tiny_tpch,
+            technique,
+            options=ExecutionOptions(max_workers=2, chunk_rows=512),
+        )
+        sqls = [
+            SG_SQL,
+            "SELECT l_shipmode, COUNT(*) AS cnt FROM lineitem "
+            "GROUP BY l_shipmode",
+            "SELECT p_brand, SUM(l_quantity) AS qty FROM lineitem "
+            "GROUP BY p_brand",
+        ]
+        expected = {sql: session.sql(sql).approx for sql in sqls}
+
+        n_threads = 8
+        rounds = 4
+        results: dict[tuple[int, int], object] = {}
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(n_threads)
+
+        def worker(thread_index: int) -> None:
+            try:
+                barrier.wait()
+                for round_index in range(rounds):
+                    sql = sqls[(thread_index + round_index) % len(sqls)]
+                    results[(thread_index, round_index)] = (
+                        sql,
+                        session.sql(sql).approx,
+                    )
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        shutdown_pool()
+
+        assert errors == []
+        assert len(results) == n_threads * rounds
+        for sql, answer in results.values():
+            assert answer.groups == expected[sql].groups
+        # The log recorded every query exactly once (no lost appends).
+        assert session.query_count == len(sqls) + n_threads * rounds
