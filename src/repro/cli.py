@@ -153,6 +153,23 @@ def build_parser() -> argparse.ArgumentParser:
             "value"
         ),
     )
+    parser.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=65536,
+        help=(
+            "rows per execution chunk (zone-map granularity); answers are "
+            "identical for any value"
+        ),
+    )
+    parser.add_argument(
+        "--no-skipping",
+        action="store_true",
+        help=(
+            "disable zone-map data skipping (WHERE masks scan every row); "
+            "answers are identical either way"
+        ),
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list reproducible figures/tables")
     figure = subparsers.add_parser(
@@ -213,13 +230,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=Path("benchmarks/results"),
         help="directory holding figure_*.csv files",
     )
+    sql = subparsers.add_parser(
+        "sql",
+        help="run one aggregation query against a stored database",
+    )
+    sql.add_argument(
+        "database", type=Path, help="directory written by repro.storage"
+    )
+    sql.add_argument("query", help="SQL aggregation query text")
+    sql.add_argument(
+        "--mode",
+        choices=("exact", "approx", "both"),
+        default="exact",
+        help=(
+            "exact executor (default), small-group approximate answering, "
+            "or both side by side"
+        ),
+    )
+    sql.add_argument(
+        "--base-rate",
+        type=float,
+        default=0.04,
+        help="base sampling rate for approx/both modes",
+    )
+    sql.add_argument(
+        "--explain",
+        action="store_true",
+        help=(
+            "also print the data-skipping report: per piece, chunks "
+            "scanned vs skipped and rows touched"
+        ),
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    set_default_options(ExecutionOptions(max_workers=args.max_workers))
+    set_default_options(
+        ExecutionOptions(
+            max_workers=args.max_workers,
+            chunk_rows=args.chunk_rows,
+            data_skipping=not args.no_skipping,
+        )
+    )
+    if args.command == "sql":
+        return _run_sql(args)
     if args.command == "list":
         rows = [[fid, desc] for fid, (desc, _, _) in FIGURES.items()]
         print(format_table(["id", "description"], rows))
@@ -241,6 +297,32 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.out is not None:
             path = _save(run, args.out)
             print(f"wrote {path}")
+    return 0
+
+
+def _run_sql(args) -> int:
+    """Answer one SQL query against a database stored on disk."""
+    from repro.core.smallgroup import SmallGroupConfig, SmallGroupSampling
+    from repro.errors import ReproError
+    from repro.middleware.session import AQPSession
+    from repro.storage.io import load_database
+
+    try:
+        db = load_database(args.database)
+    except ReproError as error:
+        print(f"cannot load database from {args.database}: {error}")
+        return 1
+    session = AQPSession(db)
+    try:
+        if args.mode in ("approx", "both"):
+            session.install(
+                SmallGroupSampling(SmallGroupConfig(base_rate=args.base_rate))
+            )
+        result = session.sql(args.query, mode=args.mode, explain=args.explain)
+    except ReproError as error:
+        print(f"query failed: {error}")
+        return 1
+    print(result.to_text())
     return 0
 
 

@@ -68,6 +68,13 @@ class ApproxAnswer:
         confidence interval of the last kept group is disjoint from that
         of the best dropped group — i.e. whether the approximate top-k
         cut is statistically separated.  ``None`` when not applicable.
+    skip_report:
+        Per-piece data-skipping outcome
+        (:class:`~repro.engine.zonemap.SkipReport`): chunks skipped vs
+        scanned and rows actually touched while building WHERE masks.
+        ``None`` for techniques that never went through the combiner.
+        Deliberately excluded from answer equality concerns —
+        ``rows_scanned`` is the cost-model figure; this is diagnostics.
     """
 
     group_columns: tuple[str, ...]
@@ -78,6 +85,7 @@ class ApproxAnswer:
     pieces: tuple[str, ...] = field(default_factory=tuple)
     rewritten_sql: str | None = None
     top_k_confident: bool | None = None
+    skip_report: Any | None = None
 
     @property
     def n_groups(self) -> int:

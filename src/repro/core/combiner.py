@@ -26,12 +26,21 @@ from dataclasses import dataclass
 
 from repro.core.answer import ApproxAnswer, GroupEstimate, GroupKey
 from repro.core.rewriter import SamplePiece, pieces_to_sql
-from repro.engine.executor import aggregate_table, order_limit_groups
+from repro.engine.executor import (
+    GroupedResult,
+    aggregate_table,
+    order_limit_groups,
+)
 from repro.engine.expressions import AggFunc, AggregateSpec, Query
 from repro.engine.parallel import (
     ExecutionOptions,
     parallel_map,
     resolve_options,
+)
+from repro.engine.zonemap import (
+    PieceSkipStats,
+    SkipReport,
+    predicate_always_false,
 )
 from repro.errors import RuntimePhaseError
 
@@ -130,16 +139,19 @@ def _plan_components(
     return components, outputs
 
 
-def _execute_one_piece(item: tuple[SamplePiece, Query]):
+def _execute_one_piece(
+    item: tuple[SamplePiece, Query, PieceSkipStats, ExecutionOptions],
+):
     """Aggregate one rewritten piece (the unit of work scattered to the
     worker pool).
 
     Pure function of its piece: it reads sample tables and the execution
     cache (both thread-safe) and mutates no shared engine state — the
     property lint rule RL007 enforces for everything submitted to the
-    pool.
+    pool.  The skip-stats object it fills in is freshly allocated per
+    piece and owned by this task alone.
     """
-    piece, exec_query = item
+    piece, exec_query, stats, options = item
     return aggregate_table(
         piece.table,
         exec_query,
@@ -147,6 +159,8 @@ def _execute_one_piece(item: tuple[SamplePiece, Query]):
         scale=piece.scale,
         collect_variance_stats=not piece.zero_variance,
         variance_weights=piece.variance_weights,
+        options=options,
+        skip_stats=stats,
     )
 
 
@@ -200,9 +214,45 @@ def execute_pieces(
     ]
 
     options = resolve_options(options)
-    piece_results = parallel_map(
-        _execute_one_piece, exec_pieces, options.workers
-    )
+
+    # Piece pruning: a piece whose every chunk refutes the WHERE would
+    # aggregate an all-false mask into zero groups — substitute that
+    # empty partial outright and never submit the piece to the pool.
+    # ``rows_scanned`` still counts the piece's rows (the §4.2.2 cost
+    # model charges for what is *stored* in the plan, and the answer
+    # must be byte-identical with skipping off); the saved work shows up
+    # as ``rows_touched`` in the skip report instead.
+    skip_report = SkipReport(enabled=options.data_skipping)
+    piece_results: list[GroupedResult | None] = [None] * len(exec_pieces)
+    submitted: list[tuple[int, tuple[SamplePiece, Query, PieceSkipStats, ExecutionOptions]]] = []
+    for idx, (piece, exec_query) in enumerate(exec_pieces):
+        stats = PieceSkipStats(
+            description=piece.description or piece.table.name,
+            rows_total=piece.table.n_rows,
+        )
+        skip_report.pieces.append(stats)
+        if (
+            options.data_skipping
+            and exec_query.where is not None
+            and predicate_always_false(piece.table, exec_query.where, options)
+        ):
+            stats.pruned = True
+            piece_results[idx] = GroupedResult(
+                group_columns=exec_query.group_by,
+                aggregate_names=component_names,
+                rows={},
+            )
+            continue
+        submitted.append((idx, (piece, exec_query, stats, options)))
+    for (idx, _), result in zip(
+        submitted,
+        parallel_map(
+            _execute_one_piece,
+            [item for _, item in submitted],
+            options.workers,
+        ),
+    ):
+        piece_results[idx] = result
 
     # Deterministic combine: fold partials in piece-index order.
     for (piece, exec_query), result in zip(exec_pieces, piece_results):
@@ -285,6 +335,7 @@ def execute_pieces(
         technique=technique,
         top_k_confident=top_k_confident,
         rows_scanned=rows_scanned,
+        skip_report=skip_report,
         pieces=tuple(p.description or p.table.name for p in pieces),
         rewritten_sql=(
             pieces_to_sql(

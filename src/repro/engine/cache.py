@@ -48,8 +48,8 @@ MISS = object()
 @dataclass
 class CacheMetrics:
     """Hit/miss counters per cache kind (``group_ids``, ``join_positions``,
-    ``predicate_mask``, ``column_codes``, ``joined_column``, ``sql_parse``,
-    ``plan`` ...).
+    ``predicate_mask``, ``column_codes``, ``joined_column``, ``zone_map``,
+    ``zone_map_bitmask``, ``sql_parse``, ``plan`` ...).
 
     Counter updates take a private lock: dict read-modify-write is not
     atomic under free-running threads, and the thread-safety contract of

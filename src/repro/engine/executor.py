@@ -33,6 +33,7 @@ from repro.engine.parallel import (
     resolve_options,
 )
 from repro.engine.table import Table
+from repro.engine import zonemap
 from repro.errors import QueryError
 
 GroupKey = tuple[Any, ...]
@@ -236,29 +237,55 @@ def _group_ids(table: Table, group_by: tuple[str, ...]) -> tuple[np.ndarray, lis
     return result
 
 
-def _predicate_mask(table: Table, predicate) -> np.ndarray:
+def _predicate_mask(
+    table: Table,
+    predicate,
+    options: ExecutionOptions | None = None,
+    stats: "zonemap.PieceSkipStats | None" = None,
+) -> np.ndarray:
     """Evaluate a WHERE predicate, memoising the boolean mask.
 
-    Only pure predicates (value-dependent only, per
+    With ``options.data_skipping`` (the default) the mask is assembled
+    chunk-wise through the zone maps (:func:`zonemap.evaluate_predicate`)
+    — value-identical to a plain evaluation, so the memoised mask is the
+    same object either way and the cache key needs no skipping/layout
+    component.  Only pure predicates (value-dependent only, per
     :meth:`~repro.engine.expressions.Predicate.cache_safe`) are cached,
     anchored on the referenced :class:`Column` objects so a stale mask can
     never be served for replaced data.  Predicates with unhashable
-    literals simply skip the cache.
+    literals simply skip the cache.  ``stats`` (when given) records the
+    per-chunk skipping outcome; a cache hit reads zero rows.
     """
+    options = resolve_options(options)
+
+    def _evaluate() -> np.ndarray:
+        if options.data_skipping:
+            return zonemap.evaluate_predicate(
+                table, predicate, options, stats=stats
+            )
+        mask = predicate.evaluate(table)
+        if stats is not None:
+            stats.rows_total = table.n_rows
+            stats.observe_full_scan()
+        return mask
+
     if not predicate.cache_safe():
-        return predicate.evaluate(table)
+        return _evaluate()
     names = sorted(predicate.columns())
     if not names:
-        return predicate.evaluate(table)
+        return _evaluate()
     anchors = [table.column(name) for name in names]
     cache = get_cache()
     try:
         mask = cache.get("predicate_mask", anchors, extra=predicate)
         if mask is MISS:
-            mask = predicate.evaluate(table)
+            mask = _evaluate()
             cache.put("predicate_mask", anchors, mask, extra=predicate)
+        elif stats is not None:
+            stats.rows_total = table.n_rows
+            stats.mask_cached = True
     except TypeError:
-        mask = predicate.evaluate(table)
+        mask = _evaluate()
     return mask
 
 
@@ -269,6 +296,8 @@ def aggregate_table(
     scale: float = 1.0,
     collect_variance_stats: bool = False,
     variance_weights: np.ndarray | None = None,
+    options: ExecutionOptions | None = None,
+    skip_stats: "zonemap.PieceSkipStats | None" = None,
 ) -> GroupedResult:
     """Aggregate a flat table that already matches the query's FROM clause.
 
@@ -294,6 +323,12 @@ def aggregate_table(
         ``x_i = 1`` for COUNT).  For a Bernoulli sample at rate ``p``
         estimated by scaling with ``1/p``, pass ``(1 - p)/p²`` for every
         row.  Defaults to ``(weight_i · scale)²``.
+    options:
+        Execution options controlling data skipping and the chunk layout;
+        defaults to the process-wide options.
+    skip_stats:
+        Optional :class:`zonemap.PieceSkipStats` filled in with the
+        WHERE-evaluation skipping outcome for this scan.
     """
     if weights is not None and len(weights) != table.n_rows:
         raise QueryError(
@@ -308,8 +343,13 @@ def aggregate_table(
     # group ids and of each aggregated value array — never by materialising
     # a filtered copy of every column (the seed's ``table.take``).
     selection: np.ndarray | None = None
+    if skip_stats is not None:
+        skip_stats.rows_total = table.n_rows
+        if query.where is None:
+            # No WHERE: every row is aggregated, nothing to skip.
+            skip_stats.observe_full_scan()
     if query.where is not None:
-        keep = _predicate_mask(table, query.where)
+        keep = _predicate_mask(table, query.where, options, stats=skip_stats)
         selection = np.flatnonzero(keep)
         if weights is not None:
             weights = weights[selection]
@@ -548,7 +588,10 @@ def resolve_columns(
 
 
 def execute(
-    db: Database, query: Query, options: ExecutionOptions | None = None
+    db: Database,
+    query: Query,
+    options: ExecutionOptions | None = None,
+    skip_stats: "zonemap.PieceSkipStats | None" = None,
 ) -> GroupedResult:
     """Execute ``query`` exactly against the database."""
     if not db.has_table(query.table):
@@ -559,4 +602,4 @@ def execute(
             f"{db.star_schema.fact_table!r}, got {query.table!r}"
         )
     flat = resolve_columns(db, query, options)
-    return aggregate_table(flat, query)
+    return aggregate_table(flat, query, options=options, skip_stats=skip_stats)

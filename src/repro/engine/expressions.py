@@ -31,6 +31,30 @@ class Predicate:
         """Return a boolean mask of matching rows."""
         raise NotImplementedError
 
+    def evaluate_range(self, table: Table, start: int, stop: int) -> np.ndarray:
+        """Mask for the rows in ``[start, stop)`` only.
+
+        The zone-map executor assembles WHERE masks chunk by chunk,
+        evaluating only chunks the summaries cannot decide (see
+        :mod:`repro.engine.zonemap`); the contract is strict value
+        equality: ``evaluate_range(t, a, b) == evaluate(t)[a:b]``
+        element-for-element.  The default implementation honours the
+        contract by slicing a full evaluation; subclasses override it to
+        touch only the chunk's rows.
+        """
+        return self.evaluate(table)[start:stop]
+
+    def evaluation_cost(self) -> int:
+        """Relative cost rank used to order conjuncts cheapest-first.
+
+        Column-local leaves (code/value comparisons) rank 0; predicates
+        that read wider table state (the multi-word bitmask filter) rank
+        higher, so :class:`And` evaluates the cheap, typically selective
+        conjuncts first and can stop as soon as the running mask is
+        empty.
+        """
+        return 1
+
     def columns(self) -> set[str]:
         """Names of the columns this predicate references."""
         raise NotImplementedError
@@ -58,6 +82,14 @@ class Equals(Predicate):
         encoded = col.encode_value(self.value)
         return col.data == encoded
 
+    def evaluate_range(self, table: Table, start: int, stop: int) -> np.ndarray:
+        col = table.column(self.column)
+        encoded = col.encode_value(self.value)
+        return col.data[start:stop] == encoded
+
+    def evaluation_cost(self) -> int:
+        return 0
+
     def columns(self) -> set[str]:
         return {self.column}
 
@@ -73,8 +105,8 @@ class InSet(Predicate):
         object.__setattr__(self, "column", column)
         object.__setattr__(self, "values", tuple(values))
 
-    def evaluate(self, table: Table) -> np.ndarray:
-        col = table.column(self.column)
+    def _evaluate_codes(self, col, data: np.ndarray) -> np.ndarray:
+        """Mask for one stretch of the column's stored representation."""
         if col.kind is ColumnKind.STRING:
             # Translate the literal list to code space once, then answer
             # with a boolean lookup over the (small) dictionary — no
@@ -87,13 +119,24 @@ class InSet(Predicate):
                     lut[code] = True
                     any_present = True
             if not any_present:
-                return np.zeros(len(col), dtype=bool)
-            return lut[col.data]
+                return np.zeros(len(data), dtype=bool)
+            return lut[data]
         encoded = [col.encode_value(v) for v in self.values]
         if not encoded:
-            return np.zeros(len(col), dtype=bool)
+            return np.zeros(len(data), dtype=bool)
         targets = np.asarray(sorted(encoded), dtype=col.data.dtype)
-        return np.isin(col.data, targets)
+        return np.isin(data, targets)
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        col = table.column(self.column)
+        return self._evaluate_codes(col, col.data)
+
+    def evaluate_range(self, table: Table, start: int, stop: int) -> np.ndarray:
+        col = table.column(self.column)
+        return self._evaluate_codes(col, col.data[start:stop])
+
+    def evaluation_cost(self) -> int:
+        return 0
 
     def columns(self) -> set[str]:
         return {self.column}
@@ -128,8 +171,7 @@ class Compare(Predicate):
     op: CompareOp
     value: Any
 
-    def evaluate(self, table: Table) -> np.ndarray:
-        col = table.column(self.column)
+    def _encode(self, col) -> float | int:
         if col.kind is ColumnKind.STRING and self.op not in (
             CompareOp.EQ,
             CompareOp.NE,
@@ -138,8 +180,18 @@ class Compare(Predicate):
                 f"ordering comparison {self.op.value} not supported on "
                 f"string column {self.column!r}"
             )
-        encoded = col.encode_value(self.value)
-        return _COMPARE_FUNCS[self.op](col.data, encoded)
+        return col.encode_value(self.value)
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        col = table.column(self.column)
+        return _COMPARE_FUNCS[self.op](col.data, self._encode(col))
+
+    def evaluate_range(self, table: Table, start: int, stop: int) -> np.ndarray:
+        col = table.column(self.column)
+        return _COMPARE_FUNCS[self.op](col.data[start:stop], self._encode(col))
+
+    def evaluation_cost(self) -> int:
+        return 0
 
     def columns(self) -> set[str]:
         return {self.column}
@@ -153,13 +205,25 @@ class Between(Predicate):
     low: Any
     high: Any
 
-    def evaluate(self, table: Table) -> np.ndarray:
-        col = table.column(self.column)
+    def _require_numeric(self, col) -> None:
         if col.kind is ColumnKind.STRING:
             raise QueryError(
                 f"BETWEEN not supported on string column {self.column!r}"
             )
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        col = table.column(self.column)
+        self._require_numeric(col)
         return (col.data >= self.low) & (col.data <= self.high)
+
+    def evaluate_range(self, table: Table, start: int, stop: int) -> np.ndarray:
+        col = table.column(self.column)
+        self._require_numeric(col)
+        data = col.data[start:stop]
+        return (data >= self.low) & (data <= self.high)
+
+    def evaluation_cost(self) -> int:
+        return 0
 
     def columns(self) -> set[str]:
         return {self.column}
@@ -176,11 +240,41 @@ class And(Predicate):
             raise QueryError("AND requires at least one operand")
         object.__setattr__(self, "operands", tuple(operands))
 
+    def ordered_operands(self) -> tuple[Predicate, ...]:
+        """Operands sorted cheapest-first (stable within equal cost).
+
+        Column-local leaves run before wider-state predicates like
+        :class:`BitmaskDisjoint`; AND of booleans is commutative, so the
+        mask is identical in any order.
+        """
+        return tuple(
+            sorted(self.operands, key=lambda p: p.evaluation_cost())
+        )
+
     def evaluate(self, table: Table) -> np.ndarray:
-        mask = self.operands[0].evaluate(table)
-        for operand in self.operands[1:]:
+        # Short-circuit: once the running mask is all-false no further
+        # conjunct can set a bit, so later operands are *not evaluated at
+        # all* — including operands whose evaluation would raise (e.g. a
+        # bitmask filter against a bitmask-less table).  Pinned by test.
+        ordered = self.ordered_operands()
+        mask = ordered[0].evaluate(table)
+        for operand in ordered[1:]:
+            if not mask.any():
+                break
             mask = mask & operand.evaluate(table)
         return mask
+
+    def evaluate_range(self, table: Table, start: int, stop: int) -> np.ndarray:
+        ordered = self.ordered_operands()
+        mask = ordered[0].evaluate_range(table, start, stop)
+        for operand in ordered[1:]:
+            if not mask.any():
+                break
+            mask = mask & operand.evaluate_range(table, start, stop)
+        return mask
+
+    def evaluation_cost(self) -> int:
+        return max(op.evaluation_cost() for op in self.operands)
 
     def columns(self) -> set[str]:
         out: set[str] = set()
@@ -200,6 +294,12 @@ class Not(Predicate):
 
     def evaluate(self, table: Table) -> np.ndarray:
         return ~self.operand.evaluate(table)
+
+    def evaluate_range(self, table: Table, start: int, stop: int) -> np.ndarray:
+        return ~self.operand.evaluate_range(table, start, stop)
+
+    def evaluation_cost(self) -> int:
+        return self.operand.evaluation_cost()
 
     def columns(self) -> set[str]:
         return self.operand.columns()
@@ -228,6 +328,21 @@ class BitmaskDisjoint(Predicate):
                 "filters on one"
             )
         return table.bitmask.isdisjoint(self.mask)
+
+    def evaluate_range(self, table: Table, start: int, stop: int) -> np.ndarray:
+        if table.bitmask is None:
+            if self.mask.is_zero():
+                return np.ones(stop - start, dtype=bool)
+            raise QueryError(
+                f"table {table.name!r} has no bitmask column but the query "
+                "filters on one"
+            )
+        return table.bitmask.isdisjoint_range(self.mask, start, stop)
+
+    def evaluation_cost(self) -> int:
+        # Touches every word of the multi-word per-row bitmask — costlier
+        # than a column-local code comparison, so And runs it last.
+        return 2
 
     def columns(self) -> set[str]:
         return set()

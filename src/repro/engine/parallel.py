@@ -69,10 +69,16 @@ class ExecutionOptions:
         Target rows per pre-processing chunk.  The chunk layout is a
         function of the data size only — never of ``max_workers`` — so
         map-reduced scans associate identically at every worker count.
+    data_skipping:
+        Whether WHERE evaluation consults the per-chunk zone-map
+        summaries (see :mod:`repro.engine.zonemap`) to skip chunks a
+        predicate provably cannot match.  Answers are byte-identical
+        either way; the flag exists for benchmarking and debugging.
     """
 
     max_workers: int = 1
     chunk_rows: int = 65536
+    data_skipping: bool = True
 
     def __post_init__(self) -> None:
         if self.max_workers < 0:

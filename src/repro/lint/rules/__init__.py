@@ -16,4 +16,5 @@ from repro.lint.rules import (  # noqa: F401
     rl005_asserts,
     rl006_io_purity,
     rl007_shared_state,
+    rl008_zonemap,
 )

@@ -22,7 +22,8 @@ from repro.engine.cache import get_cache
 from repro.engine.database import Database
 from repro.engine.executor import GroupedResult, execute
 from repro.engine.expressions import Query
-from repro.engine.parallel import ExecutionOptions
+from repro.engine.parallel import ExecutionOptions, resolve_options
+from repro.engine.zonemap import PieceSkipStats, SkipReport
 from repro.errors import RuntimePhaseError
 from repro.experiments.reporting import format_table
 from repro.sql.parser import parse_query
@@ -43,6 +44,11 @@ class SessionResult:
     exact: GroupedResult | None = None
     approx_seconds: float = 0.0
     exact_seconds: float = 0.0
+    #: Data-skipping outcome (:class:`~repro.engine.zonemap.SkipReport`)
+    #: — the approximate answer's report when available, else the exact
+    #: scan's.  Rendered by :meth:`to_text` when ``explained`` is set.
+    skip_report: SkipReport | None = None
+    explained: bool = False
 
     @property
     def speedup(self) -> float:
@@ -82,8 +88,26 @@ class SessionResult:
                 f"exact answer ({self.exact.n_groups} groups, "
                 f"{self.exact_seconds * 1000:.1f} ms)"
             )
+            if self.exact.rows:
+                headers = list(self.exact.group_columns) + list(
+                    self.exact.aggregate_names
+                )
+                ordered = sorted(
+                    self.exact.rows.items(), key=lambda item: -item[1][0]
+                )
+                lines.append(
+                    format_table(
+                        headers,
+                        [
+                            list(group) + list(row)
+                            for group, row in ordered[:max_rows]
+                        ],
+                    )
+                )
         if self.approx is not None and self.exact is not None:
             lines.append(f"speedup: {self.speedup:.1f}x")
+        if self.explained and self.skip_report is not None:
+            lines.append(self.skip_report.to_text())
         return "\n".join(lines)
 
 
@@ -148,26 +172,41 @@ class AQPSession:
     # ------------------------------------------------------------------
     # Querying
     # ------------------------------------------------------------------
-    def sql(self, text: str, mode: str = "approx") -> SessionResult:
+    def sql(
+        self, text: str, mode: str = "approx", explain: bool = False
+    ) -> SessionResult:
         """Run a SQL aggregation query.
 
         ``mode`` is ``"approx"`` (default), ``"exact"``, or ``"both"``.
+        With ``explain=True`` the result also carries (and renders) the
+        data-skipping report: per piece, chunks scanned vs skipped and
+        rows actually touched while building the WHERE mask.
         """
         if mode not in ("approx", "exact", "both"):
             raise RuntimePhaseError(
                 f"mode must be approx, exact, or both; got {mode!r}"
             )
         query = self._parse(text)
-        result = SessionResult(sql=text, query=query)
+        result = SessionResult(sql=text, query=query, explained=explain)
         if mode in ("approx", "both"):
             technique = self.require_technique()
             start = time.perf_counter()
             result.approx = self._answer_approx(technique, query)
             result.approx_seconds = time.perf_counter() - start
+            if result.approx.skip_report is not None:
+                result.skip_report = result.approx.skip_report
         if mode in ("exact", "both"):
+            exact_options = resolve_options(self.options)
+            exact_report = SkipReport(enabled=exact_options.data_skipping)
+            exact_stats = PieceSkipStats(description=f"exact:{query.table}")
+            exact_report.pieces.append(exact_stats)
             start = time.perf_counter()
-            result.exact = execute(self.db, query, options=self.options)
+            result.exact = execute(
+                self.db, query, options=self.options, skip_stats=exact_stats
+            )
             result.exact_seconds = time.perf_counter() - start
+            if result.skip_report is None:
+                result.skip_report = exact_report
         with self._lock:
             self._log.append(
                 _LogEntry(

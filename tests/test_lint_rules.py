@@ -404,6 +404,87 @@ class TestRL007SharedStateInPoolTask:
         assert run_rule("RL007", source, "repro/core/smallgroup.py") == []
 
 
+class TestRL008ZoneMapMutation:
+    BAD_SUBSCRIPT = """
+        class Editor:
+            def patch(self, col, i, v):
+                col.data[i] = v
+    """
+
+    BAD_REBIND = """
+        class Editor:
+            def swap(self, col, arr):
+                col.data = arr
+    """
+
+    BAD_SET_BIT = """
+        def tag(vector, rows, bit):
+            vector.set_bit(rows, bit)
+    """
+
+    GOOD_INVALIDATED = """
+        class Editor:
+            def patch(self, col, i, v):
+                col.data[i] = v
+                get_cache().invalidate_object(col)
+    """
+
+    GOOD_INIT = """
+        class Holder:
+            def __init__(self, arr):
+                self.data = arr
+                self.data[0] = 0
+    """
+
+    def test_fires_on_subscript_write(self):
+        findings = run_rule(
+            "RL008", self.BAD_SUBSCRIPT, "repro/engine/foo.py"
+        )
+        assert len(findings) == 1
+        assert findings[0].symbol == "Editor.patch"
+        assert "writes into 'data'" in findings[0].message
+
+    def test_fires_on_attribute_rebind(self):
+        findings = run_rule("RL008", self.BAD_REBIND, "repro/engine/foo.py")
+        assert len(findings) == 1
+        assert "rebinds 'data'" in findings[0].message
+
+    def test_fires_on_set_bit_call(self):
+        findings = run_rule("RL008", self.BAD_SET_BIT, "repro/engine/foo.py")
+        assert len(findings) == 1
+        assert "set_bit" in findings[0].message
+
+    def test_invalidating_in_same_function_passes(self):
+        assert (
+            run_rule("RL008", self.GOOD_INVALIDATED, "repro/engine/foo.py")
+            == []
+        )
+
+    def test_init_is_exempt(self):
+        assert run_rule("RL008", self.GOOD_INIT, "repro/engine/foo.py") == []
+
+    def test_reads_are_out_of_scope(self):
+        source = """
+            def summarise(col, start, stop):
+                return col.data[start:stop].min()
+        """
+        assert run_rule("RL008", source, "repro/engine/foo.py") == []
+
+    def test_out_of_scope_file_ignored(self):
+        assert (
+            run_rule("RL008", self.BAD_SUBSCRIPT, "repro/workload/foo.py")
+            == []
+        )
+
+    def test_allowlisted_primitive_passes(self):
+        source = """
+            class BitmaskVector:
+                def set_bit(self, rows, bit):
+                    self.words[rows, bit // WORD_BITS] |= one << bit
+        """
+        assert run_rule("RL008", source, "repro/engine/bitmask.py") == []
+
+
 class TestInfrastructure:
     def test_unparsable_file_is_reported_not_raised(self):
         findings = lint_source("def broken(:", "repro/engine/foo.py")
@@ -417,7 +498,7 @@ class TestInfrastructure:
     def test_every_rule_has_id_and_title(self):
         rules = all_rules()
         assert [r.rule_id for r in rules] == sorted(
-            f"RL00{i}" for i in range(1, 8)
+            f"RL00{i}" for i in range(1, 9)
         )
         assert all(r.title for r in rules)
 

@@ -38,6 +38,14 @@ CONGRESS_SQL = (
     "SELECT color, shape, COUNT(*) AS cnt, AVG(amount) AS avg_amount "
     "FROM flat GROUP BY color, shape"
 )
+SG_POINT_SQL = (
+    "SELECT l_shipmode, COUNT(*) AS cnt, SUM(l_quantity) AS qty "
+    "FROM lineitem WHERE p_brand = 'p_brand_000' GROUP BY l_shipmode"
+)
+SG_RANGE_SQL = (
+    "SELECT p_brand, COUNT(*) AS cnt FROM lineitem "
+    "WHERE l_quantity BETWEEN 5 AND 9 GROUP BY p_brand"
+)
 
 
 @pytest.fixture()
@@ -150,6 +158,54 @@ class TestPreprocessingScanDeterminism:
         for name, stats in serial.items():
             assert chunked[name].kind is stats.kind
             assert chunked[name].frequencies == stats.frequencies
+
+
+class TestSkippingDeterminism:
+    """Zone-map data skipping (docs/internals.md §9) is a pure throughput
+    knob, exactly like ``max_workers`` and ``chunk_rows``: refuted chunks
+    contribute no rows either way, accepted chunks are all-true either
+    way, so every estimate, variance, CI, and ``rows_scanned`` is
+    byte-identical with skipping on or off at any chunk layout."""
+
+    CONFIGS = tuple(
+        ExecutionOptions(max_workers=w, chunk_rows=c, data_skipping=s)
+        for s in (True, False)
+        for c in (512, 100_000)
+        for w in (1, 4)
+    )
+
+    @pytest.mark.parametrize("sql", (SG_POINT_SQL, SG_RANGE_SQL))
+    def test_small_group_answers_identical(self, tiny_tpch, sql):
+        technique = SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.05, seed=7, use_reservoir=False)
+        )
+        technique.preprocess(tiny_tpch)
+        query = parse_query(sql)
+        answers = {}
+        previous = None
+        for index, options in enumerate(self.CONFIGS, start=1):
+            before = set_default_options(options)
+            if previous is None:
+                previous = before
+            answers[index] = technique.answer(query)
+        set_default_options(previous)
+        shutdown_pool()
+        assert_identical_answers(answers)
+
+    def test_exact_executor_identical(self, tiny_tpch):
+        query = parse_query(
+            "SELECT s_region, COUNT(*) AS cnt, SUM(l_quantity) AS qty "
+            "FROM lineitem WHERE l_quantity BETWEEN 5 AND 9 "
+            "GROUP BY s_region"
+        )
+        results = [
+            execute(tiny_tpch, query, options=options)
+            for options in self.CONFIGS
+        ]
+        shutdown_pool()
+        for result in results[1:]:
+            assert result.rows == results[0].rows
+            assert result.raw_counts == results[0].raw_counts
 
 
 class TestConcurrentSessions:

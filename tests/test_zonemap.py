@@ -1,0 +1,449 @@
+"""Zone-map data skipping: verdicts, mask identity, short-circuit AND.
+
+The contract under test: chunk verdicts are conservative proofs (skip
+only what cannot match, accept only what must), the assembled WHERE mask
+is value-identical to a plain evaluation at any chunk size, predicates
+that would raise still raise, and the skip accounting reports what was
+actually touched.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.bitmask import Bitmask, BitmaskVector
+from repro.engine.cache import get_cache
+from repro.engine.column import Column
+from repro.engine.expressions import (
+    And,
+    Between,
+    BitmaskDisjoint,
+    Compare,
+    CompareOp,
+    Equals,
+    InSet,
+    Not,
+    Predicate,
+)
+from repro.engine.parallel import ExecutionOptions
+from repro.engine.table import Table
+from repro.engine.zonemap import (
+    VERDICT_ALL_FALSE,
+    VERDICT_ALL_TRUE,
+    VERDICT_UNKNOWN,
+    ZONE_MAP_DISTINCT_CUTOFF,
+    PieceSkipStats,
+    SkipReport,
+    chunk_verdicts,
+    evaluate_predicate,
+    predicate_always_false,
+)
+from repro.errors import ColumnTypeError, QueryError
+
+
+@pytest.fixture(autouse=True)
+def _clear_cache():
+    get_cache().clear()
+    yield
+    get_cache().clear()
+
+
+def options(chunk_rows: int, skipping: bool = True) -> ExecutionOptions:
+    return ExecutionOptions(chunk_rows=chunk_rows, data_skipping=skipping)
+
+
+def clustered_table(n: int = 40, chunk: int = 10) -> Table:
+    """Four clustered chunks: values 0..9, 10..19, 20..29, 30..39."""
+    return Table(
+        "t",
+        {
+            "x": Column.ints(np.arange(n)),
+            "grp": Column.strings(
+                ["abcd"[i // chunk] for i in range(n)]
+            ),
+        },
+    )
+
+
+class TestNumericVerdicts:
+    def test_equals_skips_chunks_outside_range(self):
+        verdicts = chunk_verdicts(
+            clustered_table(), Equals("x", 15), options(10)
+        )
+        assert list(verdicts) == [
+            VERDICT_ALL_FALSE,
+            VERDICT_UNKNOWN,
+            VERDICT_ALL_FALSE,
+            VERDICT_ALL_FALSE,
+        ]
+
+    def test_constant_chunk_equal_value_accepts(self):
+        table = Table("t", {"x": Column.ints([5] * 8 + [7] * 8)})
+        verdicts = chunk_verdicts(table, Equals("x", 5), options(8))
+        assert list(verdicts) == [VERDICT_ALL_TRUE, VERDICT_ALL_FALSE]
+
+    def test_zero_count_refines_equals_zero(self):
+        # 0 lies inside [-1, 1] for the first chunk, but no stored value
+        # is 0 there — the zero count proves the refutation anyway.
+        table = Table(
+            "t", {"x": Column.ints([-1, 1, -1, 1, 0, 0, 0, 0])}
+        )
+        verdicts = chunk_verdicts(table, Equals("x", 0), options(4))
+        assert list(verdicts) == [VERDICT_ALL_FALSE, VERDICT_ALL_TRUE]
+
+    def test_not_equal_is_verdict_negation(self):
+        table = Table(
+            "t", {"x": Column.ints([-1, 1, -1, 1, 0, 0, 0, 0])}
+        )
+        verdicts = chunk_verdicts(
+            table, Compare("x", CompareOp.NE, 0), options(4)
+        )
+        assert list(verdicts) == [VERDICT_ALL_TRUE, VERDICT_ALL_FALSE]
+
+    def test_ordering_bounds(self):
+        table = clustered_table()
+        lt = chunk_verdicts(table, Compare("x", CompareOp.LT, 10), options(10))
+        assert list(lt) == [VERDICT_ALL_TRUE] + [VERDICT_ALL_FALSE] * 3
+        ge = chunk_verdicts(table, Compare("x", CompareOp.GE, 25), options(10))
+        assert list(ge) == [
+            VERDICT_ALL_FALSE,
+            VERDICT_ALL_FALSE,
+            VERDICT_UNKNOWN,
+            VERDICT_ALL_TRUE,
+        ]
+
+    def test_between_containment_and_disjointness(self):
+        verdicts = chunk_verdicts(
+            clustered_table(), Between("x", 10, 19), options(10)
+        )
+        assert list(verdicts) == [
+            VERDICT_ALL_FALSE,
+            VERDICT_ALL_TRUE,
+            VERDICT_ALL_FALSE,
+            VERDICT_ALL_FALSE,
+        ]
+
+    def test_nan_chunk_stays_unknown(self):
+        table = Table(
+            "t",
+            {"x": Column.floats([np.nan, 1.0, 2.0, 3.0, 50.0, 51.0, 52.0, 53.0])},
+        )
+        verdicts = chunk_verdicts(table, Equals("x", 100.0), options(4))
+        # First chunk holds a NaN: its min/max are NaN, so no proof; the
+        # second chunk's bounds refute normally.
+        assert list(verdicts) == [VERDICT_UNKNOWN, VERDICT_ALL_FALSE]
+
+    def test_nan_literal_matches_nothing(self):
+        table = Table("t", {"x": Column.floats([1.0, 2.0, 3.0, 4.0])})
+        eq = chunk_verdicts(table, Equals("x", float("nan")), options(2))
+        assert list(eq) == [VERDICT_ALL_FALSE, VERDICT_ALL_FALSE]
+        ne = chunk_verdicts(
+            table, Compare("x", CompareOp.NE, float("nan")), options(2)
+        )
+        assert list(ne) == [VERDICT_ALL_TRUE, VERDICT_ALL_TRUE]
+
+    def test_inset_no_target_in_bounds_skips(self):
+        verdicts = chunk_verdicts(
+            clustered_table(), InSet("x", [12, 17, 99]), options(10)
+        )
+        assert list(verdicts) == [
+            VERDICT_ALL_FALSE,
+            VERDICT_UNKNOWN,
+            VERDICT_ALL_FALSE,
+            VERDICT_ALL_FALSE,
+        ]
+
+
+class TestStringVerdicts:
+    def test_equals_by_code_set(self):
+        verdicts = chunk_verdicts(
+            clustered_table(), Equals("grp", "b"), options(10)
+        )
+        # Each chunk holds a single code, so chunks are either wholly
+        # accepted or wholly refuted.
+        assert list(verdicts) == [
+            VERDICT_ALL_FALSE,
+            VERDICT_ALL_TRUE,
+            VERDICT_ALL_FALSE,
+            VERDICT_ALL_FALSE,
+        ]
+
+    def test_absent_value_refutes_everywhere(self):
+        verdicts = chunk_verdicts(
+            clustered_table(), Equals("grp", "zzz"), options(10)
+        )
+        assert (verdicts == VERDICT_ALL_FALSE).all()
+        assert predicate_always_false(
+            clustered_table(), Equals("grp", "zzz"), options(10)
+        )
+
+    def test_inset_subset_and_disjoint(self):
+        verdicts = chunk_verdicts(
+            clustered_table(), InSet("grp", ["a", "b"]), options(10)
+        )
+        assert list(verdicts) == [
+            VERDICT_ALL_TRUE,
+            VERDICT_ALL_TRUE,
+            VERDICT_ALL_FALSE,
+            VERDICT_ALL_FALSE,
+        ]
+
+    def test_distinct_cutoff_leaves_chunk_unknown(self):
+        n = ZONE_MAP_DISTINCT_CUTOFF + 10
+        table = Table(
+            "t", {"s": Column.strings([f"v{i}" for i in range(n)])}
+        )
+        verdicts = chunk_verdicts(table, Equals("s", "v0"), options(n))
+        assert list(verdicts) == [VERDICT_UNKNOWN]
+
+    def test_ordering_comparison_stays_unknown(self):
+        # The evaluation path raises for ordering ops on strings; the
+        # verdict must not pre-empt that error by skipping the chunk.
+        verdicts = chunk_verdicts(
+            clustered_table(), Compare("grp", CompareOp.LT, "b"), options(10)
+        )
+        assert (verdicts == VERDICT_UNKNOWN).all()
+
+
+class TestComposites:
+    def test_and_takes_verdict_minimum(self):
+        table = clustered_table()
+        pred = And([Equals("grp", "b"), Compare("x", CompareOp.LT, 15)])
+        verdicts = chunk_verdicts(table, pred, options(10))
+        assert list(verdicts) == [
+            VERDICT_ALL_FALSE,   # grp refutes
+            VERDICT_UNKNOWN,     # grp accepts, x undecided
+            VERDICT_ALL_FALSE,
+            VERDICT_ALL_FALSE,
+        ]
+
+    def test_not_negates(self):
+        verdicts = chunk_verdicts(
+            clustered_table(), Not(Equals("grp", "b")), options(10)
+        )
+        assert list(verdicts) == [
+            VERDICT_ALL_TRUE,
+            VERDICT_ALL_FALSE,
+            VERDICT_ALL_TRUE,
+            VERDICT_ALL_TRUE,
+        ]
+
+    def test_unknown_predicate_type_stays_unknown(self):
+        class Opaque(Predicate):
+            def evaluate(self, table):
+                return np.zeros(table.n_rows, dtype=bool)
+
+            def columns(self):
+                return set()
+
+        verdicts = chunk_verdicts(clustered_table(), Opaque(), options(10))
+        assert (verdicts == VERDICT_UNKNOWN).all()
+
+    def test_bitmask_or_proves_all_true_only(self):
+        vector = BitmaskVector(8, 4)
+        vector.set_bit(np.array([4, 5, 6, 7]), 1)
+        table = Table(
+            "t", {"x": Column.ints(np.arange(8))}
+        ).with_bitmask(vector)
+        pred = BitmaskDisjoint(Bitmask(4, [1]))
+        verdicts = chunk_verdicts(table, pred, options(4))
+        # First chunk: no row carries bit 1 → every row disjoint.  Second
+        # chunk: the OR overlaps, which proves nothing per-row → scan.
+        assert list(verdicts) == [VERDICT_ALL_TRUE, VERDICT_UNKNOWN]
+
+    def test_bitmaskless_table_nonzero_mask_stays_unknown(self):
+        table = Table("t", {"x": Column.ints(np.arange(8))})
+        verdicts = chunk_verdicts(
+            table, BitmaskDisjoint(Bitmask(4, [1])), options(4)
+        )
+        assert (verdicts == VERDICT_UNKNOWN).all()
+        with pytest.raises(QueryError):
+            evaluate_predicate(
+                table, BitmaskDisjoint(Bitmask(4, [1])), options(4)
+            )
+
+
+def random_table(seed: int, n: int = 500) -> Table:
+    rng = np.random.default_rng(seed)
+    vector = BitmaskVector(n, 6)
+    vector.set_bit(np.flatnonzero(rng.random(n) < 0.3), 2)
+    return Table(
+        "r",
+        {
+            "i": Column.ints(rng.integers(-50, 50, n)),
+            "f": Column.floats(
+                np.where(rng.random(n) < 0.05, np.nan, rng.normal(0, 10, n))
+            ),
+            "s": Column.strings(
+                [f"g{g}" for g in rng.integers(0, 5, n)]
+            ),
+        },
+    ).with_bitmask(vector)
+
+
+PREDICATES = [
+    Equals("i", 7),
+    Equals("i", 0),
+    Equals("s", "g3"),
+    Equals("s", "missing"),
+    Compare("i", CompareOp.GE, 25),
+    Compare("f", CompareOp.LT, -5.0),
+    Compare("s", CompareOp.NE, "g0"),
+    Between("i", -10, 10),
+    Between("f", 0.0, 3.0),
+    InSet("i", [3, 4, 5]),
+    InSet("s", ["g1", "g4"]),
+    Not(Between("i", -40, 40)),
+    And([Equals("s", "g2"), Compare("i", CompareOp.GT, 0)]),
+    And([InSet("s", ["g0", "g1"]), BitmaskDisjoint(Bitmask(6, [2]))]),
+    BitmaskDisjoint(Bitmask(6)),
+    BitmaskDisjoint(Bitmask(6, [5])),
+]
+
+
+class TestMaskIdentity:
+    @pytest.mark.parametrize("chunk_rows", [7, 64, 100000])
+    def test_assembled_mask_equals_plain_evaluation(self, chunk_rows):
+        table = random_table(seed=11)
+        for pred in PREDICATES:
+            expected = pred.evaluate(table)
+            got = evaluate_predicate(table, pred, options(chunk_rows))
+            assert np.array_equal(got, expected), pred
+
+    def test_empty_table(self):
+        table = Table("e", {"x": Column.ints([])})
+        mask = evaluate_predicate(table, Equals("x", 1), options(16))
+        assert mask.size == 0
+        assert not predicate_always_false(table, Equals("x", 1), options(16))
+
+
+class TestErrorPreservation:
+    """Skipping must never swallow the evaluation path's typed errors."""
+
+    @pytest.mark.parametrize(
+        "pred, error",
+        [
+            (Between("grp", "a", "b"), QueryError),
+            (Compare("grp", CompareOp.LT, "b"), QueryError),
+            (Equals("x", "oops"), ColumnTypeError),
+        ],
+    )
+    def test_typed_errors_still_raise(self, pred, error):
+        table = clustered_table()
+        with pytest.raises(error):
+            evaluate_predicate(table, pred, options(10))
+
+    def test_untyped_bound_error_matches_plain_path(self):
+        # BETWEEN with string bounds on a numeric column fails inside
+        # numpy on both paths; skipping must not turn it into a silent
+        # all-false mask.
+        table = clustered_table()
+        pred = Between("x", "a", "b")
+        with pytest.raises(Exception) as plain:
+            pred.evaluate(table)
+        with pytest.raises(plain.value.__class__):
+            evaluate_predicate(table, pred, options(10))
+
+
+class Recording(Predicate):
+    """Wrapper counting how often it is evaluated (not cache-safe)."""
+
+    def __init__(self, inner: Predicate, cost: int = 0) -> None:
+        self.inner = inner
+        self.cost = cost
+        self.calls = 0
+
+    def evaluate(self, table):
+        self.calls += 1
+        return self.inner.evaluate(table)
+
+    def evaluate_range(self, table, start, stop):
+        self.calls += 1
+        return self.inner.evaluate_range(table, start, stop)
+
+    def evaluation_cost(self):
+        return self.cost
+
+    def columns(self):
+        return self.inner.columns()
+
+    def cache_safe(self):
+        return False
+
+
+class TestAndShortCircuit:
+    """Satellite pin: AND orders conjuncts cheapest-first and stops once
+    the running mask is all-false."""
+
+    def test_all_false_mask_skips_remaining_conjuncts(self):
+        table = clustered_table()
+        expensive = Recording(Equals("x", 5), cost=1)
+        pred = And([Equals("grp", "zzz"), expensive])
+        mask = pred.evaluate(table)
+        assert not mask.any()
+        assert expensive.calls == 0
+
+    def test_bitmask_filter_runs_after_column_leaves(self):
+        # On a bitmask-less table a non-zero mask filter raises — unless
+        # a cheaper conjunct already emptied the mask.  This is the
+        # semantics the zone-map chunk skipping relies on.
+        table = clustered_table()
+        pred = And([BitmaskDisjoint(Bitmask(4, [1])), Equals("grp", "zzz")])
+        assert not pred.evaluate(table).any()
+        live = And([BitmaskDisjoint(Bitmask(4, [1])), Equals("grp", "a")])
+        with pytest.raises(QueryError):
+            live.evaluate(table)
+
+    def test_nonempty_mask_evaluates_every_conjunct(self):
+        table = clustered_table()
+        second = Recording(Equals("x", 5), cost=1)
+        pred = And([Equals("grp", "a"), second])
+        expected = (np.arange(40) < 10) & (np.arange(40) == 5)
+        assert np.array_equal(pred.evaluate(table), expected)
+        assert second.calls == 1
+
+
+class TestSkipAccounting:
+    def test_stats_record_chunk_outcomes(self):
+        table = clustered_table()
+        stats = PieceSkipStats(description="p")
+        mask = evaluate_predicate(
+            table, Equals("grp", "b"), options(10), stats=stats
+        )
+        assert mask.sum() == 10
+        assert stats.rows_total == 40
+        assert stats.n_chunks == 4
+        assert stats.chunks_skipped == 3
+        assert stats.chunks_accepted == 1
+        assert stats.chunks_scanned == 0
+        assert stats.rows_touched == 0
+
+    def test_partial_scan_counts_unknown_chunk_rows(self):
+        table = clustered_table()
+        stats = PieceSkipStats(description="p")
+        evaluate_predicate(
+            table, Compare("x", CompareOp.GE, 25), options(10), stats=stats
+        )
+        assert stats.chunks_scanned == 1
+        assert stats.rows_touched == 10
+
+    def test_report_aggregates_and_renders(self):
+        report = SkipReport(enabled=True)
+        report.pieces.append(
+            PieceSkipStats(
+                description="piece-a",
+                rows_total=100,
+                n_chunks=4,
+                chunks_skipped=3,
+                chunks_scanned=1,
+                rows_touched=25,
+            )
+        )
+        report.pieces.append(
+            PieceSkipStats(description="piece-b", rows_total=50, pruned=True)
+        )
+        assert report.rows_total == 150
+        assert report.rows_touched == 25
+        assert report.pieces_pruned == 1
+        text = report.to_text()
+        assert "data skipping: on" in text
+        assert "piece-a" in text and "piece-b: pruned" in text
