@@ -143,6 +143,14 @@ def test_repeated_workload_cache_speedup(db, sg):
     the warm stream must be at least 3x faster.  Emits
     ``BENCH_engine_cache.json`` (queries/sec cold vs warm) at the repo
     root for future perf comparisons.
+
+    Also measures profiling overhead: the warm stream with
+    ``profile=True`` must stay within 5% of the unprofiled warm
+    wall-clock and byte-identical in its answers — the observability
+    acceptance criterion.  The two sides are timed in strict
+    per-query alternation (unprofiled, then profiled, same query),
+    which cancels the machine drift that whole-pass comparisons on a
+    shared box cannot.
     """
     import json
     import time
@@ -157,7 +165,7 @@ def test_repeated_workload_cache_speedup(db, sg):
     ]
     cache = get_cache()
 
-    def run(session, cold):
+    def run(session, cold, profile=False):
         answers = []
         start = time.perf_counter()
         for sql in stream:
@@ -165,7 +173,7 @@ def test_repeated_workload_cache_speedup(db, sg):
                 cache.clear()
                 session._parse_memo.clear()
                 session._plan_memo.clear()
-            result = session.sql(sql, mode="both")
+            result = session.sql(sql, mode="both", profile=profile)
             approx = result.approx
             answers.append(
                 (
@@ -185,6 +193,25 @@ def test_repeated_workload_cache_speedup(db, sg):
 
     assert warm_answers == cold_answers  # identical, query for query
     speedup = cold_seconds / warm_seconds
+
+    # Profiling overhead, paired per query so machine drift cancels.
+    profiled_answers, _ = run(AQPSession(db, sg), cold=False, profile=True)
+    assert profiled_answers == cold_answers  # answer-neutral
+    session = AQPSession(db, sg)
+    for sql in stream:  # warm this session's memos first
+        session.sql(sql, mode="both")
+    paired_warm = paired_profiled = 0.0
+    for _ in range(3):
+        for sql in stream:
+            t0 = time.perf_counter()
+            session.sql(sql, mode="both")
+            t1 = time.perf_counter()
+            session.sql(sql, mode="both", profile=True)
+            t2 = time.perf_counter()
+            paired_warm += t1 - t0
+            paired_profiled += t2 - t1
+    profiling_overhead = paired_profiled / paired_warm - 1.0
+
     payload = {
         "benchmark": "repeated_workload_cache",
         "mode": "both",
@@ -196,8 +223,12 @@ def test_repeated_workload_cache_speedup(db, sg):
         "cold_qps": round(len(stream) / cold_seconds, 3),
         "warm_qps": round(len(stream) / warm_seconds, 3),
         "speedup": round(speedup, 3),
+        "paired_warm_seconds": round(paired_warm, 6),
+        "paired_profiled_seconds": round(paired_profiled, 6),
+        "profiling_overhead": round(profiling_overhead, 4),
         "cache_metrics": cache.metrics.snapshot(),
     }
     out = Path(__file__).resolve().parents[1] / "BENCH_engine_cache.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
     assert speedup >= 3.0, payload
+    assert profiling_overhead < 0.05, payload

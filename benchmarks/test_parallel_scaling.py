@@ -147,7 +147,7 @@ def test_parallel_scaling(db, sg):
         "answers_identical_across_workers": True,
     }
     out = Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
 
     # Throughput gate (hardware-dependent): threads cannot beat the
     # clock on fewer than 4 cores, so the 1.6x bar only applies there.

@@ -194,7 +194,7 @@ def test_skipping():
         "answers_identical_on_off": True,
     }
     out = Path(__file__).resolve().parents[1] / "BENCH_skipping.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
 
     # Rows-touched gate (unconditional): on clustered data a 5%-selective
     # predicate must scan >= 5x fewer rows with skipping on.

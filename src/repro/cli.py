@@ -261,6 +261,69 @@ def build_parser() -> argparse.ArgumentParser:
             "scanned vs skipped and rows touched"
         ),
     )
+    sql.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "also print the query profile: lifecycle spans, cache "
+            "hit/miss delta, and skipping outcome (answer-neutral)"
+        ),
+    )
+    sql.add_argument(
+        "--profile-json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the query profile as strict JSON to PATH "
+            "('-' for stdout); implies profiling"
+        ),
+    )
+    stats = subparsers.add_parser(
+        "stats",
+        help=(
+            "run a small workload and print process-wide observability "
+            "stats (metrics registry + execution-cache counters)"
+        ),
+    )
+    stats.add_argument(
+        "database", type=Path, help="directory written by repro.storage"
+    )
+    stats.add_argument(
+        "--query",
+        action="append",
+        default=None,
+        metavar="SQL",
+        help=(
+            "SQL aggregation query to run (repeatable); default is one "
+            "COUNT(*) over the largest table"
+        ),
+    )
+    stats.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="times to run each query (warm passes exercise the caches)",
+    )
+    stats.add_argument(
+        "--mode",
+        choices=("exact", "approx", "both"),
+        default="both",
+        help="execution mode for the workload queries",
+    )
+    stats.add_argument(
+        "--base-rate",
+        type=float,
+        default=0.04,
+        help="base sampling rate for approx/both modes",
+    )
+    stats.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the stats as strict JSON to PATH ('-' for stdout)",
+    )
     return parser
 
 
@@ -276,6 +339,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     if args.command == "sql":
         return _run_sql(args)
+    if args.command == "stats":
+        return _run_stats(args)
     if args.command == "list":
         rows = [[fid, desc] for fid, (desc, _, _) in FIGURES.items()]
         print(format_table(["id", "description"], rows))
@@ -313,16 +378,123 @@ def _run_sql(args) -> int:
         print(f"cannot load database from {args.database}: {error}")
         return 1
     session = AQPSession(db)
+    profile = args.profile or args.profile_json is not None
     try:
         if args.mode in ("approx", "both"):
             session.install(
                 SmallGroupSampling(SmallGroupConfig(base_rate=args.base_rate))
             )
-        result = session.sql(args.query, mode=args.mode, explain=args.explain)
+        result = session.sql(
+            args.query, mode=args.mode, explain=args.explain, profile=profile
+        )
     except ReproError as error:
         print(f"query failed: {error}")
         return 1
     print(result.to_text())
+    if args.profile_json is not None and result.profile is not None:
+        _write_json(result.profile.to_dict(), args.profile_json)
+    return 0
+
+
+def _write_json(payload: dict, path: str) -> None:
+    """Write strict JSON to ``path``, or stdout when ``path`` is ``-``."""
+    from repro.obs import dumps
+
+    text = dumps(payload, indent=2, sort_keys=True)
+    if path == "-":
+        print(text)
+    else:
+        Path(path).write_text(text + "\n")
+        print(f"wrote {path}")
+
+
+def _run_stats(args) -> int:
+    """Run a small workload and report process-wide observability stats.
+
+    The registry counters and the execution-cache metrics are
+    process-wide, so the numbers cover exactly what this invocation ran:
+    ``--repeat`` passes over each ``--query`` (first pass cold, the rest
+    exercising the parse/plan memos and the execution cache).
+    """
+    from repro.core.smallgroup import SmallGroupConfig, SmallGroupSampling
+    from repro.engine.cache import get_cache
+    from repro.errors import ReproError
+    from repro.middleware.session import AQPSession
+    from repro.obs import get_registry
+    from repro.storage.io import load_database
+
+    try:
+        db = load_database(args.database)
+    except ReproError as error:
+        print(f"cannot load database from {args.database}: {error}")
+        return 1
+    queries = args.query
+    if not queries:
+        largest = max(
+            (db.table(name) for name in db.table_names),
+            key=lambda t: t.n_rows,
+        )
+        queries = [f"SELECT COUNT(*) AS n FROM {largest.name}"]
+    get_registry().reset()
+    get_cache().metrics.reset()
+    session = AQPSession(db)
+    try:
+        if args.mode in ("approx", "both"):
+            session.install(
+                SmallGroupSampling(SmallGroupConfig(base_rate=args.base_rate))
+            )
+        for _ in range(max(1, args.repeat)):
+            for query in queries:
+                session.sql(query, mode=args.mode)
+    except ReproError as error:
+        print(f"workload failed: {error}")
+        return 1
+    registry_snapshot = get_registry().snapshot()
+    cache_snapshot = get_cache().metrics.snapshot()
+    print(
+        f"workload: {len(queries)} quer{'y' if len(queries) == 1 else 'ies'}"
+        f" x {max(1, args.repeat)} repeats, mode={args.mode}"
+    )
+    counters = registry_snapshot.get("counters", {})
+    if counters:
+        print(
+            format_table(
+                ["counter", "value"], sorted(counters.items())
+            )
+        )
+    gauges = registry_snapshot.get("gauges", {})
+    if gauges:
+        print(format_table(["gauge", "value"], sorted(gauges.items())))
+    histograms = registry_snapshot.get("histograms", {})
+    if histograms:
+        rows = [
+            [
+                name,
+                h["count"],
+                h["sum"],
+                h["min"],
+                h["max"],
+                h["mean"],
+            ]
+            for name, h in sorted(histograms.items())
+        ]
+        print(
+            format_table(
+                ["histogram", "count", "sum", "min", "max", "mean"], rows
+            )
+        )
+    kinds = cache_snapshot.get("by_kind", {})
+    if kinds:
+        rows = [
+            [kind, c["hits"], c["misses"], f"{c['hit_rate']:.2f}"]
+            for kind, c in sorted(kinds.items())
+        ]
+        print(format_table(["cache kind", "hits", "misses", "rate"], rows))
+    if args.json is not None:
+        _write_json(
+            {"registry": registry_snapshot, "cache": cache_snapshot},
+            args.json,
+        )
     return 0
 
 

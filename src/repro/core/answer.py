@@ -75,6 +75,12 @@ class ApproxAnswer:
         ``None`` for techniques that never went through the combiner.
         Deliberately excluded from answer equality concerns —
         ``rows_scanned`` is the cost-model figure; this is diagnostics.
+    trace:
+        Root :class:`~repro.obs.trace.Span` of the execution, when the
+        caller requested profiling (``session.sql(..., profile=True)``);
+        ``None`` otherwise.  Pure diagnostics like ``skip_report`` —
+        the estimates are byte-identical with tracing on or off
+        (enforced by lint rule RL009 and the determinism sweep test).
     """
 
     group_columns: tuple[str, ...]
@@ -86,6 +92,7 @@ class ApproxAnswer:
     rewritten_sql: str | None = None
     top_k_confident: bool | None = None
     skip_report: Any | None = None
+    trace: Any | None = None
 
     @property
     def n_groups(self) -> int:

@@ -22,6 +22,7 @@ statistics).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.core.answer import ApproxAnswer, GroupEstimate, GroupKey
@@ -43,6 +44,8 @@ from repro.engine.zonemap import (
     predicate_always_false,
 )
 from repro.errors import RuntimePhaseError
+from repro.obs.registry import get_registry
+from repro.obs.trace import NULL_SPAN, Span
 
 
 def _order_and_limit(
@@ -140,7 +143,7 @@ def _plan_components(
 
 
 def _execute_one_piece(
-    item: tuple[SamplePiece, Query, PieceSkipStats, ExecutionOptions],
+    item: tuple[SamplePiece, Query, PieceSkipStats, ExecutionOptions, Span],
 ):
     """Aggregate one rewritten piece (the unit of work scattered to the
     worker pool).
@@ -148,20 +151,22 @@ def _execute_one_piece(
     Pure function of its piece: it reads sample tables and the execution
     cache (both thread-safe) and mutates no shared engine state — the
     property lint rule RL007 enforces for everything submitted to the
-    pool.  The skip-stats object it fills in is freshly allocated per
-    piece and owned by this task alone.
+    pool.  The skip-stats and span objects it fills in are freshly
+    allocated per piece and owned by this task alone.
     """
-    piece, exec_query, stats, options = item
-    return aggregate_table(
-        piece.table,
-        exec_query,
-        weights=piece.weights,
-        scale=piece.scale,
-        collect_variance_stats=not piece.zero_variance,
-        variance_weights=piece.variance_weights,
-        options=options,
-        skip_stats=stats,
-    )
+    piece, exec_query, stats, options, piece_span = item
+    with piece_span:
+        return aggregate_table(
+            piece.table,
+            exec_query,
+            weights=piece.weights,
+            scale=piece.scale,
+            collect_variance_stats=not piece.zero_variance,
+            variance_weights=piece.variance_weights,
+            options=options,
+            skip_stats=stats,
+            span=piece_span,
+        )
 
 
 def execute_pieces(
@@ -169,6 +174,7 @@ def execute_pieces(
     technique: str,
     emit_sql: bool = True,
     options: ExecutionOptions | None = None,
+    span: Span = NULL_SPAN,
 ) -> ApproxAnswer:
     """Execute rewritten pieces and combine them into an answer.
 
@@ -179,6 +185,13 @@ def execute_pieces(
     of completion order, so the floating-point accumulation associates
     exactly as in the serial loop and the answer is byte-identical for
     any worker count.
+
+    ``span`` (when profiling) gains one ``piece:*`` child per piece —
+    created serially before the scatter and written only by the task
+    that owns it (the RL007 purity discipline) — plus a ``combine``
+    child; the span tree rides on the answer as ``ApproxAnswer.trace``.
+    Spans are write-only in this layer (RL009), so answers are
+    byte-identical with profiling on or off.
     """
     if not pieces:
         raise RuntimePhaseError("rewritten query has no pieces")
@@ -223,36 +236,47 @@ def execute_pieces(
     # must be byte-identical with skipping off); the saved work shows up
     # as ``rows_touched`` in the skip report instead.
     skip_report = SkipReport(enabled=options.data_skipping)
+    span.annotate(pieces=len(exec_pieces))
     piece_results: list[GroupedResult | None] = [None] * len(exec_pieces)
-    submitted: list[tuple[int, tuple[SamplePiece, Query, PieceSkipStats, ExecutionOptions]]] = []
+    submitted: list[tuple[int, tuple[SamplePiece, Query, PieceSkipStats, ExecutionOptions, Span]]] = []
     for idx, (piece, exec_query) in enumerate(exec_pieces):
+        description = piece.description or piece.table.name
         stats = PieceSkipStats(
-            description=piece.description or piece.table.name,
+            description=description,
             rows_total=piece.table.n_rows,
         )
         skip_report.pieces.append(stats)
+        # Per-piece spans are created serially here, before the scatter,
+        # so each pool task mutates only the one span it owns (RL007).
+        piece_span = span.child(f"piece:{description}")
         if (
             options.data_skipping
             and exec_query.where is not None
             and predicate_always_false(piece.table, exec_query.where, options)
         ):
             stats.pruned = True
+            piece_span.annotate(pruned=True, rows=piece.table.n_rows)
             piece_results[idx] = GroupedResult(
                 group_columns=exec_query.group_by,
                 aggregate_names=component_names,
                 rows={},
             )
             continue
-        submitted.append((idx, (piece, exec_query, stats, options)))
+        submitted.append((idx, (piece, exec_query, stats, options, piece_span)))
     for (idx, _), result in zip(
         submitted,
         parallel_map(
             _execute_one_piece,
             [item for _, item in submitted],
             options.workers,
+            span=span,
         ),
     ):
         piece_results[idx] = result
+    registry = get_registry()
+    registry.incr("combiner.pieces_executed", len(submitted))
+    registry.incr("combiner.pieces_pruned", len(exec_pieces) - len(submitted))
+    combine_started = time.perf_counter()
 
     # Deterministic combine: fold partials in piece-index order.
     for (piece, exec_query), result in zip(exec_pieces, piece_results):
@@ -314,6 +338,10 @@ def execute_pieces(
             )
         groups[group] = tuple(estimates)
 
+    combine_span = span.child("combine")
+    combine_span.seconds = time.perf_counter() - combine_started
+    combine_span.annotate(groups=len(groups))
+
     agg_names = tuple(a.name for a in aggregates)
     base_query = pieces[0].query
     if base_query.having:
@@ -336,6 +364,7 @@ def execute_pieces(
         top_k_confident=top_k_confident,
         rows_scanned=rows_scanned,
         skip_report=skip_report,
+        trace=None if span is NULL_SPAN else span,
         pieces=tuple(p.description or p.table.name for p in pieces),
         rewritten_sql=(
             pieces_to_sql(

@@ -79,12 +79,17 @@ class CacheMetrics:
         with self._lock:
             self.invalidations += count
 
-    def hit_rate(self, kind: str) -> float:
-        """Fraction of lookups served from cache (NaN when never looked up)."""
+    def hit_rate(self, kind: str) -> float | None:
+        """Fraction of lookups served from cache.
+
+        ``None`` when the kind was never looked up — never NaN, which
+        would leak the invalid-JSON ``NaN`` token into benchmark
+        artifacts (``BENCH_*.json``) that embed :meth:`snapshot`.
+        """
         with self._lock:
             hits = self.hits.get(kind, 0)
             total = hits + self.misses.get(kind, 0)
-        return hits / total if total else float("nan")
+        return hits / total if total else None
 
     def total_hits(self) -> int:
         """Hits summed across every kind."""
@@ -96,8 +101,22 @@ class CacheMetrics:
         with self._lock:
             return sum(self.misses.values())
 
+    def counts(self) -> dict:
+        """Bare hits/misses copies — the cheap per-query-delta view.
+
+        ``QueryProfile`` assembly diffs two of these around every
+        profiled query, so this skips :meth:`snapshot`'s per-kind
+        rollup (which would otherwise dominate profiling overhead).
+        """
+        with self._lock:
+            return {"hits": dict(self.hits), "misses": dict(self.misses)}
+
     def snapshot(self) -> dict:
-        """A plain-dict view for reports and benchmark JSON."""
+        """A plain-dict view for reports and benchmark JSON.
+
+        Strict-JSON-safe: per-kind hit rates are plain ratios (a kind
+        only appears once looked up, so the denominator is never zero).
+        """
         with self._lock:
             kinds = sorted(set(self.hits) | set(self.misses))
             return {
@@ -108,6 +127,8 @@ class CacheMetrics:
                     k: {
                         "hits": self.hits.get(k, 0),
                         "misses": self.misses.get(k, 0),
+                        "hit_rate": self.hits.get(k, 0)
+                        / (self.hits.get(k, 0) + self.misses.get(k, 0)),
                     }
                     for k in kinds
                 },

@@ -35,6 +35,7 @@ from repro.engine.parallel import (
 from repro.engine.table import Table
 from repro.engine import zonemap
 from repro.errors import QueryError
+from repro.obs.trace import NULL_SPAN, Span
 
 GroupKey = tuple[Any, ...]
 
@@ -298,6 +299,7 @@ def aggregate_table(
     variance_weights: np.ndarray | None = None,
     options: ExecutionOptions | None = None,
     skip_stats: "zonemap.PieceSkipStats | None" = None,
+    span: Span = NULL_SPAN,
 ) -> GroupedResult:
     """Aggregate a flat table that already matches the query's FROM clause.
 
@@ -329,6 +331,9 @@ def aggregate_table(
     skip_stats:
         Optional :class:`zonemap.PieceSkipStats` filled in with the
         WHERE-evaluation skipping outcome for this scan.
+    span:
+        Write-only profiling span (:data:`~repro.obs.trace.NULL_SPAN`
+        when profiling is off); gains row/group counts for this scan.
     """
     if weights is not None and len(weights) != table.n_rows:
         raise QueryError(
@@ -472,6 +477,11 @@ def aggregate_table(
             }
     if query.order_by or query.limit is not None:
         _apply_order_limit(result, query)
+    span.annotate(
+        rows=table.n_rows,
+        rows_selected=n_selected,
+        groups=len(result.rows),
+    )
     return result
 
 
@@ -537,7 +547,10 @@ def _gather_one_dimension(item: tuple[str, Column, Column, Column]) -> tuple[str
 
 
 def resolve_columns(
-    db: Database, query: Query, options: ExecutionOptions | None = None
+    db: Database,
+    query: Query,
+    options: ExecutionOptions | None = None,
+    span: Span = NULL_SPAN,
 ) -> Table:
     """Build a flat table containing every column the query references.
 
@@ -576,8 +589,9 @@ def resolve_columns(
         if missing:
             raise QueryError(f"columns {sorted(missing)} not found in any table")
         options = resolve_options(options)
+        span.add("dimension_gathers", len(tasks))
         for name, gathered in parallel_map(
-            _gather_one_dimension, tasks, options.workers
+            _gather_one_dimension, tasks, options.workers, span=span
         ):
             columns[name] = gathered
     if not columns:
@@ -592,6 +606,7 @@ def execute(
     query: Query,
     options: ExecutionOptions | None = None,
     skip_stats: "zonemap.PieceSkipStats | None" = None,
+    span: Span = NULL_SPAN,
 ) -> GroupedResult:
     """Execute ``query`` exactly against the database."""
     if not db.has_table(query.table):
@@ -601,5 +616,15 @@ def execute(
             f"queries must target the fact table "
             f"{db.star_schema.fact_table!r}, got {query.table!r}"
         )
-    flat = resolve_columns(db, query, options)
-    return aggregate_table(flat, query, options=options, skip_stats=skip_stats)
+    resolve_span = span.child("resolve_columns")
+    with resolve_span:
+        flat = resolve_columns(db, query, options, span=resolve_span)
+    aggregate_span = span.child("aggregate")
+    with aggregate_span:
+        return aggregate_table(
+            flat,
+            query,
+            options=options,
+            skip_stats=skip_stats,
+            span=aggregate_span,
+        )

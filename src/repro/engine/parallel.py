@@ -37,12 +37,15 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import QueryError
+from repro.obs.registry import get_registry
+from repro.obs.trace import NULL_SPAN, Span
 
 #: Name prefix of pool threads; used to refuse nested pool submission
 #: (a task that fans out into the pool it runs on can deadlock once the
@@ -146,6 +149,7 @@ def parallel_map(
     fn: Callable[[Any], Any],
     items: Sequence[Any] | Iterable[Any],
     max_workers: int,
+    span: Span = NULL_SPAN,
 ) -> list[Any]:
     """Apply ``fn`` to every item, returning results in item order.
 
@@ -156,13 +160,33 @@ def parallel_map(
     submission index, so the output order — and therefore any downstream
     floating-point reduction order — is identical to the serial path.
     The first task exception propagates to the caller.
+
+    ``span`` (when profiling) gains a ``pool.scatter`` child recording
+    task count and submit/wait seconds; the shared metrics registry
+    counts scattered tasks and observes the latencies process-wide.
+    Both are write-only channels (RL009) — answers never depend on them.
     """
     items = list(items)
     if max_workers <= 1 or len(items) <= 1 or _in_pool_thread():
         return [fn(item) for item in items]
     pool = get_pool(max_workers)
+    started = time.perf_counter()
     futures = [pool.submit(fn, item) for item in items]
-    return [future.result() for future in futures]
+    submitted = time.perf_counter()
+    results = [future.result() for future in futures]
+    gathered = time.perf_counter()
+    scatter_span = span.child("pool.scatter")
+    scatter_span.seconds = gathered - started
+    scatter_span.annotate(
+        tasks=len(items),
+        submit_seconds=submitted - started,
+        wait_seconds=gathered - submitted,
+    )
+    registry = get_registry()
+    registry.incr("pool.tasks_scattered", len(items))
+    registry.observe("pool.submit_seconds", submitted - started)
+    registry.observe("pool.wait_seconds", gathered - submitted)
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -200,6 +224,7 @@ def map_row_chunks(
     fn: Callable[[int, int], Any],
     n_rows: int,
     options: "ExecutionOptions",
+    span: Span = NULL_SPAN,
 ) -> list[Any]:
     """Map ``fn(start, stop)`` over deterministic row chunks, in order.
 
@@ -211,7 +236,7 @@ def map_row_chunks(
     items = [
         (fn, start, stop) for start, stop in chunk_ranges(n_rows, options.chunk_rows)
     ]
-    return parallel_map(_apply_range, items, options.workers)
+    return parallel_map(_apply_range, items, options.workers, span=span)
 
 
 # ----------------------------------------------------------------------

@@ -79,6 +79,7 @@ from repro.engine.parallel import (
     resolve_options,
 )
 from repro.engine.table import Table
+from repro.obs.registry import get_registry
 
 #: Chunk verdicts: conjunction is ``min`` (ALL_FALSE dominates), negation
 #: is arithmetic ``-`` (UNKNOWN is a fixed point).
@@ -603,6 +604,13 @@ def evaluate_predicate(
             touched += stop - start
     if stats is not None:
         stats.observe_chunks(len(ranges), skipped, accepted, scanned, touched)
+    # Process-wide aggregation (write-only — RL009): chunk verdicts and
+    # rows read across every mask assembly, for ``repro stats``.
+    registry = get_registry()
+    registry.incr("zonemap.chunks_skipped", skipped)
+    registry.incr("zonemap.chunks_accepted", accepted)
+    registry.incr("zonemap.chunks_scanned", scanned)
+    registry.incr("zonemap.rows_touched", touched)
     return mask
 
 

@@ -17,4 +17,5 @@ from repro.lint.rules import (  # noqa: F401
     rl006_io_purity,
     rl007_shared_state,
     rl008_zonemap,
+    rl009_obs,
 )

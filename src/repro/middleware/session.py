@@ -26,6 +26,9 @@ from repro.engine.parallel import ExecutionOptions, resolve_options
 from repro.engine.zonemap import PieceSkipStats, SkipReport
 from repro.errors import RuntimePhaseError
 from repro.experiments.reporting import format_table
+from repro.obs.profile import QueryProfile
+from repro.obs.registry import get_registry
+from repro.obs.trace import NULL_SPAN, Span
 from repro.sql.parser import parse_query
 from repro.workload.spec import Workload, WorkloadConfig, WorkloadQuery
 
@@ -49,13 +52,32 @@ class SessionResult:
     #: scan's.  Rendered by :meth:`to_text` when ``explained`` is set.
     skip_report: SkipReport | None = None
     explained: bool = False
+    #: Per-query observability record (:class:`~repro.obs.QueryProfile`)
+    #: when the query ran with ``profile=True``; ``None`` otherwise.
+    profile: QueryProfile | None = None
 
     @property
     def speedup(self) -> float:
-        """Exact time over approximate time (requires mode="both")."""
+        """Exact time over approximate time (requires mode="both").
+
+        NaN when either side did not run (kept NaN — not ``None`` — for
+        backward compatibility; presentation layers must render via
+        :attr:`speedup_or_none` so the NaN never leaks into text or,
+        worse, a strict-JSON report).
+        """
         if self.approx_seconds <= 0 or self.exact_seconds <= 0:
             return float("nan")
         return self.exact_seconds / self.approx_seconds
+
+    @property
+    def speedup_or_none(self) -> float | None:
+        """:attr:`speedup` as a finite float, or ``None``.
+
+        This is the JSON-safe view: ``None`` serialises as ``null``
+        where NaN would produce invalid strict JSON.
+        """
+        value = self.speedup
+        return value if value == value else None
 
     def to_text(self, max_rows: int = 20, level: float = 0.95) -> str:
         """Human-readable rendering of the result."""
@@ -68,7 +90,7 @@ class SessionResult:
             )
             headers = list(self.approx.group_columns) + [
                 f"{name} (est.)" for name in self.approx.aggregate_names
-            ] + ["95% CI", "exact?"]
+            ] + [f"{level:.0%} CI", "exact?"]
             rows = []
             ordered = sorted(
                 self.approx.groups.items(),
@@ -105,9 +127,15 @@ class SessionResult:
                     )
                 )
         if self.approx is not None and self.exact is not None:
-            lines.append(f"speedup: {self.speedup:.1f}x")
+            speedup = self.speedup_or_none
+            lines.append(
+                "speedup: "
+                + (f"{speedup:.1f}x" if speedup is not None else "n/a")
+            )
         if self.explained and self.skip_report is not None:
             lines.append(self.skip_report.to_text())
+        if self.profile is not None:
+            lines.append(self.profile.to_text())
         return "\n".join(lines)
 
 
@@ -173,7 +201,11 @@ class AQPSession:
     # Querying
     # ------------------------------------------------------------------
     def sql(
-        self, text: str, mode: str = "approx", explain: bool = False
+        self,
+        text: str,
+        mode: str = "approx",
+        explain: bool = False,
+        profile: bool = False,
     ) -> SessionResult:
         """Run a SQL aggregation query.
 
@@ -181,32 +213,97 @@ class AQPSession:
         With ``explain=True`` the result also carries (and renders) the
         data-skipping report: per piece, chunks scanned vs skipped and
         rows actually touched while building the WHERE mask.
+
+        With ``profile=True`` the result additionally carries a
+        :class:`~repro.obs.QueryProfile` — the span tree of the query's
+        lifecycle (parse → plan → per-piece execution → combine), the
+        execution-cache hit/miss delta, and the data-skipping outcome.
+        Profiling is answer-neutral: the estimates are byte-identical
+        with it on or off (the engine treats spans as write-only — lint
+        rule RL009 — and the determinism sweep test verifies it
+        end to end).
         """
         if mode not in ("approx", "exact", "both"):
             raise RuntimePhaseError(
                 f"mode must be approx, exact, or both; got {mode!r}"
             )
-        query = self._parse(text)
-        result = SessionResult(sql=text, query=query, explained=explain)
-        if mode in ("approx", "both"):
-            technique = self.require_technique()
-            start = time.perf_counter()
-            result.approx = self._answer_approx(technique, query)
-            result.approx_seconds = time.perf_counter() - start
-            if result.approx.skip_report is not None:
-                result.skip_report = result.approx.skip_report
-        if mode in ("exact", "both"):
-            exact_options = resolve_options(self.options)
-            exact_report = SkipReport(enabled=exact_options.data_skipping)
-            exact_stats = PieceSkipStats(description=f"exact:{query.table}")
-            exact_report.pieces.append(exact_stats)
-            start = time.perf_counter()
-            result.exact = execute(
-                self.db, query, options=self.options, skip_stats=exact_stats
+        root = Span("query") if profile else NULL_SPAN
+        cache_before = get_cache().metrics.counts() if profile else None
+        registry = get_registry()
+        registry.incr("session.queries")
+        registry.incr(f"session.queries.{mode}")
+        with root:
+            parse_span = root.child("parse")
+            with parse_span:
+                query = self._parse(text)
+            result = SessionResult(sql=text, query=query, explained=explain)
+            if mode in ("approx", "both"):
+                technique = self.require_technique()
+                approx_span = root.child("execute.approx")
+                start = time.perf_counter()
+                with approx_span:
+                    result.approx = self._answer_approx(
+                        technique, query, span=approx_span
+                    )
+                result.approx_seconds = time.perf_counter() - start
+                registry.observe(
+                    "session.approx_seconds", result.approx_seconds
+                )
+                if result.approx.skip_report is not None:
+                    result.skip_report = result.approx.skip_report
+            if mode in ("exact", "both"):
+                exact_options = resolve_options(self.options)
+                exact_report = SkipReport(enabled=exact_options.data_skipping)
+                exact_stats = PieceSkipStats(
+                    description=f"exact:{query.table}"
+                )
+                exact_report.pieces.append(exact_stats)
+                exact_span = root.child("execute.exact")
+                start = time.perf_counter()
+                with exact_span:
+                    result.exact = execute(
+                        self.db,
+                        query,
+                        options=self.options,
+                        skip_stats=exact_stats,
+                        span=exact_span,
+                    )
+                result.exact_seconds = time.perf_counter() - start
+                registry.observe(
+                    "session.exact_seconds", result.exact_seconds
+                )
+                if result.skip_report is None:
+                    result.skip_report = exact_report
+        if profile:
+            result.profile = QueryProfile(
+                sql=text,
+                mode=mode,
+                technique=(
+                    result.approx.technique
+                    if result.approx is not None
+                    else None
+                ),
+                trace=root,
+                approx_seconds=(
+                    result.approx_seconds
+                    if result.approx is not None
+                    else None
+                ),
+                exact_seconds=(
+                    result.exact_seconds
+                    if result.exact is not None
+                    else None
+                ),
+                speedup=result.speedup_or_none,
+                rows_scanned=(
+                    result.approx.rows_scanned
+                    if result.approx is not None
+                    else None
+                ),
+                cache_before=cache_before,
+                cache_after=get_cache().metrics.counts(),
+                skip_report=result.skip_report,
             )
-            result.exact_seconds = time.perf_counter() - start
-            if result.skip_report is None:
-                result.skip_report = exact_report
         with self._lock:
             self._log.append(
                 _LogEntry(
@@ -233,7 +330,10 @@ class AQPSession:
         return query
 
     def _answer_approx(
-        self, technique: AQPTechnique, query: Query
+        self,
+        technique: AQPTechnique,
+        query: Query,
+        span: Span = NULL_SPAN,
     ) -> ApproxAnswer:
         """Answer approximately, memoising the technique's rewrite plan.
 
@@ -242,6 +342,10 @@ class AQPSession:
         :class:`Query` — so structurally identical SQL skips sample
         selection and rewriting — validated against the technique's
         ``plan_version`` (bumped by preprocess and incremental inserts).
+
+        ``span`` (when profiling) gains a ``plan`` child timing sample
+        selection/rewriting and a ``pieces`` child owning the per-piece
+        execution spans.
         """
         chooser = getattr(technique, "choose_samples", None)
         version = getattr(technique, "plan_version", None)
@@ -253,22 +357,31 @@ class AQPSession:
                 entry = self._plan_memo.get(query)
         except TypeError:  # unhashable literal somewhere in the query
             return technique.answer(query)
-        if (
-            entry is not None
-            and entry[0] is technique
-            and entry[1] == version
-        ):
-            metrics.record_hit("plan")
-            pieces = entry[2]
-        else:
-            metrics.record_miss("plan")
-            technique.require_preprocessed()
-            pieces = chooser(query)
-            with self._lock:
-                self._plan_memo[query] = (technique, version, pieces)
-        return execute_pieces(
-            pieces, technique=technique.name, options=self.options
-        )
+        plan_span = span.child("plan")
+        with plan_span:
+            if (
+                entry is not None
+                and entry[0] is technique
+                and entry[1] == version
+            ):
+                metrics.record_hit("plan")
+                plan_span.annotate(memo_hit=True)
+                pieces = entry[2]
+            else:
+                metrics.record_miss("plan")
+                plan_span.annotate(memo_hit=False)
+                technique.require_preprocessed()
+                pieces = chooser(query)
+                with self._lock:
+                    self._plan_memo[query] = (technique, version, pieces)
+        pieces_span = span.child("pieces")
+        with pieces_span:
+            return execute_pieces(
+                pieces,
+                technique=technique.name,
+                options=self.options,
+                span=pieces_span,
+            )
 
     def explain(self, text: str) -> str:
         """Describe how the installed technique would answer ``text``.

@@ -1,0 +1,59 @@
+"""Strict-JSON sanitising for every artifact the repo emits.
+
+Python's ``json.dumps`` happily writes ``NaN`` / ``Infinity`` tokens —
+which are *not* JSON: ``json.loads(..., parse_constant=reject)`` and
+every non-Python consumer refuses them.  The engine has several places
+where a ratio over a zero denominator produces a non-finite float
+(speedups with a zero timing, hit rates with zero lookups, AVG over an
+empty group), so any dict that reaches a ``.json`` artifact must be
+scrubbed first.
+
+:func:`json_safe` maps non-finite floats to ``None`` (→ ``null``),
+flattens tuples/sets to lists, unwraps numpy scalars without importing
+numpy, and stringifies non-primitive dict keys (group-key tuples).
+:func:`dumps` is the drop-in serialiser: sanitise, then
+``json.dumps(..., allow_nan=False)`` so a regression fails loudly at
+the write site instead of corrupting the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+
+def json_safe(value: Any) -> Any:
+    """A copy of ``value`` that serialises to strict (finite) JSON."""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, float):  # covers numpy.float64 (a float subclass)
+        return value if math.isfinite(value) else None
+    if isinstance(value, int):
+        return value
+    if isinstance(value, dict):
+        return {
+            k if isinstance(k, str) else str(k): json_safe(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_safe(item) for item in value]
+    item = getattr(value, "item", None)  # numpy scalars, zero-d arrays
+    if callable(item):
+        try:
+            return json_safe(item())
+        except (TypeError, ValueError):
+            pass
+    tolist = getattr(value, "tolist", None)  # numpy arrays
+    if callable(tolist):
+        return json_safe(tolist())
+    return str(value)
+
+
+def dumps(value: Any, **kwargs: Any) -> str:
+    """``json.dumps`` of the sanitised value; never emits NaN/Infinity."""
+    kwargs.setdefault("allow_nan", False)
+    return json.dumps(json_safe(value), **kwargs)
+
+
+__all__ = ["dumps", "json_safe"]

@@ -485,6 +485,111 @@ class TestRL008ZoneMapMutation:
         assert run_rule("RL008", source, "repro/engine/bitmask.py") == []
 
 
+class TestRL009ObservabilityReads:
+    BAD_ATTR_READ = """
+        def combine(span, groups):
+            total = span.seconds
+            return total + len(groups)
+    """
+
+    BAD_AUG_READ = """
+        def accumulate(piece_span, extra):
+            piece_span.seconds += extra
+    """
+
+    BAD_READ_API = """
+        def slowest(span):
+            return span.find("pool.scatter")
+    """
+
+    BAD_BRANCH = """
+        def maybe_fast_path(span, table):
+            if span:
+                return table.head()
+            return table
+    """
+
+    BAD_BRANCH_CALL = """
+        def maybe(span, table):
+            if span.find("combine"):
+                return table.head()
+            return table
+    """
+
+    BAD_REGISTRY_READ = """
+        def adaptive(registry, query):
+            if registry.counter("pool.tasks_scattered") > 100:
+                return query.serial()
+            return query
+    """
+
+    GOOD_WRITE_ONLY = """
+        def combine(span, groups):
+            child = span.child("combine")
+            with child:
+                child.add("groups", len(groups))
+                child.annotate(done=True)
+            child.seconds = 0.25
+            get_registry().incr("combiner.pieces_executed", len(groups))
+    """
+
+    GOOD_IDENTITY = """
+        def attach(span, answer):
+            answer.trace = None if span is NULL_SPAN else span
+            return answer
+    """
+
+    def test_fires_on_span_state_read(self):
+        findings = run_rule("RL009", self.BAD_ATTR_READ, "repro/engine/foo.py")
+        assert len(findings) == 1
+        assert "'.seconds'" in findings[0].message
+
+    def test_fires_on_augmented_read(self):
+        findings = run_rule("RL009", self.BAD_AUG_READ, "repro/core/foo.py")
+        assert len(findings) == 1
+        assert "write-only" in findings[0].message
+
+    def test_fires_on_read_api_call(self):
+        findings = run_rule("RL009", self.BAD_READ_API, "repro/engine/foo.py")
+        assert len(findings) == 1
+        assert "read-API" in findings[0].message
+
+    def test_fires_on_span_truthiness_branch(self):
+        findings = run_rule("RL009", self.BAD_BRANCH, "repro/core/foo.py")
+        assert len(findings) == 1
+        assert "branches on span" in findings[0].message
+
+    def test_fires_on_span_call_in_branch_test(self):
+        findings = run_rule(
+            "RL009", self.BAD_BRANCH_CALL, "repro/core/foo.py"
+        )
+        assert findings  # the .find() read and the branch use both count
+        assert any("control flow" in f.message or "read-API" in f.message
+                   for f in findings)
+
+    def test_fires_on_registry_read(self):
+        findings = run_rule(
+            "RL009", self.BAD_REGISTRY_READ, "repro/baselines/foo.py"
+        )
+        assert len(findings) == 1
+        assert "registry" in findings[0].message
+
+    def test_write_only_instrumentation_passes(self):
+        assert (
+            run_rule("RL009", self.GOOD_WRITE_ONLY, "repro/engine/foo.py")
+            == []
+        )
+
+    def test_identity_check_against_null_span_passes(self):
+        assert (
+            run_rule("RL009", self.GOOD_IDENTITY, "repro/core/foo.py") == []
+        )
+
+    def test_out_of_scope_file_ignored(self):
+        for path in ("repro/obs/profile.py", "repro/middleware/session.py"):
+            assert run_rule("RL009", self.BAD_ATTR_READ, path) == []
+
+
 class TestInfrastructure:
     def test_unparsable_file_is_reported_not_raised(self):
         findings = lint_source("def broken(:", "repro/engine/foo.py")
@@ -498,7 +603,7 @@ class TestInfrastructure:
     def test_every_rule_has_id_and_title(self):
         rules = all_rules()
         assert [r.rule_id for r in rules] == sorted(
-            f"RL00{i}" for i in range(1, 9)
+            f"RL00{i}" for i in range(1, 10)
         )
         assert all(r.title for r in rules)
 
