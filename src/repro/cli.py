@@ -170,6 +170,17 @@ def build_parser() -> argparse.ArgumentParser:
             "answers are identical either way"
         ),
     )
+    parser.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help=(
+            "backend for scattering independent work: worker threads "
+            "(default), worker processes with shared-memory zero-copy "
+            "columns (true multi-core for GIL-bound workloads), or a "
+            "forced serial loop; answers are identical for any choice"
+        ),
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list reproducible figures/tables")
     figure = subparsers.add_parser(
@@ -335,6 +346,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             max_workers=args.max_workers,
             chunk_rows=args.chunk_rows,
             data_skipping=not args.no_skipping,
+            executor=args.executor,
         )
     )
     if args.command == "sql":

@@ -44,6 +44,26 @@ from typing import Any
 #: Sentinel distinguishing "no cached value" from a cached ``None``.
 MISS = object()
 
+#: Callbacks fired (outside the cache lock) whenever an object is
+#: explicitly invalidated.  The shared-memory column arena
+#: (:mod:`repro.engine.procpool`) subscribes so that the buffers of a
+#: replaced table (``append_rows`` / ``insert_rows`` / ``drop_table``)
+#: are unlinked the moment the execution cache drops its entries, rather
+#: than at garbage collection.
+_INVALIDATION_LISTENERS: list[Callable[[Any], None]] = []
+
+
+def add_invalidation_listener(listener: Callable[[Any], None]) -> None:
+    """Subscribe to explicit invalidations on every :class:`ExecutionCache`.
+
+    Listeners receive each object passed to
+    :meth:`ExecutionCache.invalidate_object` (including the per-column
+    and bitmask calls that :meth:`ExecutionCache.invalidate_table` fans
+    out to).  They run on the invalidating thread, outside the cache
+    lock, and must not raise.
+    """
+    _INVALIDATION_LISTENERS.append(listener)
+
 
 @dataclass
 class CacheMetrics:
@@ -272,20 +292,26 @@ class ExecutionCache:
     # Invalidation
     # ------------------------------------------------------------------
     def invalidate_object(self, obj: Any) -> int:
-        """Drop every entry anchored on ``obj``; returns entries dropped."""
+        """Drop every entry anchored on ``obj``; returns entries dropped.
+
+        Invalidation listeners fire regardless of how many entries were
+        anchored here: the arena may hold segments for objects the cache
+        never cached (e.g. a column published but never grouped on).
+        """
         with self._lock:
             keys = self._anchor_keys.get(id(obj))
-            if not keys:
-                return 0
             dropped = 0
-            for key in list(keys):
+            for key in list(keys or ()):
                 entry = self._entries.get(key)
                 # id() reuse guard: only drop entries whose weakref still
                 # resolves to this exact object.
                 if entry is not None and any(r() is obj for r in entry[0]):
                     self._remove_key(key)
                     dropped += 1
-        self.metrics.record_invalidations(dropped)
+        if dropped:
+            self.metrics.record_invalidations(dropped)
+        for listener in _INVALIDATION_LISTENERS:
+            listener(obj)
         return dropped
 
     def invalidate_table(self, table: Any) -> int:
@@ -333,6 +359,7 @@ __all__ = [
     "MISS",
     "CacheMetrics",
     "ExecutionCache",
+    "add_invalidation_listener",
     "execution_cache_metrics",
     "get_cache",
 ]

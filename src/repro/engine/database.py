@@ -159,7 +159,9 @@ class Database:
         every cached artifact derived from the old version — group ids,
         join positions, predicate masks, gathered dimension columns — is
         invalidated explicitly rather than waiting for garbage collection.
-        Returns the new table.
+        Invalidation listeners fan the event out to the process backend's
+        shared-memory arena too, so segments published for the old
+        table's buffers are unlinked immediately.  Returns the new table.
         """
         old = self.table(name)
         merged = old.concat(batch)

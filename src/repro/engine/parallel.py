@@ -35,6 +35,7 @@ byte-identical for ``max_workers`` ∈ {1, 2, …}.
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
 import time
@@ -55,6 +56,13 @@ _THREAD_NAME_PREFIX = "repro-worker"
 #: Hard ceiling on the shared pool size (a runaway ``max_workers`` must
 #: not spawn thousands of OS threads).
 MAX_POOL_WORKERS = 64
+
+#: Valid values of :attr:`ExecutionOptions.executor`.
+EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+#: PID of the process that imported this module; forked pool workers
+#: must not tear down the parent's pools from their own ``atexit``.
+_OWNER_PID = os.getpid()
 
 
 @dataclass(frozen=True)
@@ -77,11 +85,20 @@ class ExecutionOptions:
         summaries (see :mod:`repro.engine.zonemap`) to skip chunks a
         predicate provably cannot match.  Answers are byte-identical
         either way; the flag exists for benchmarking and debugging.
+    executor:
+        Which backend scatters independent work: ``"thread"`` (the
+        default — the PR-3 shared thread pool), ``"process"`` (the
+        :mod:`repro.engine.procpool` process pool + shared-memory column
+        arena, for GIL-bound workloads), or ``"serial"`` (force the
+        in-thread loop regardless of ``max_workers``).  Answers are
+        byte-identical across backends — the backend is a pure
+        throughput knob, exactly like ``max_workers``.
     """
 
     max_workers: int = 1
     chunk_rows: int = 65536
     data_skipping: bool = True
+    executor: str = "thread"
 
     def __post_init__(self) -> None:
         if self.max_workers < 0:
@@ -92,12 +109,28 @@ class ExecutionOptions:
             raise QueryError(
                 f"chunk_rows must be >= 1, got {self.chunk_rows}"
             )
+        if self.executor not in EXECUTOR_BACKENDS:
+            raise QueryError(
+                f"executor must be one of {EXECUTOR_BACKENDS}, "
+                f"got {self.executor!r}"
+            )
 
     @property
     def workers(self) -> int:
-        """The resolved worker count (``0`` → one per CPU), capped."""
+        """The resolved worker count (``0`` → one per CPU), capped.
+
+        Always ``1`` under the ``serial`` backend, so every scatter site
+        degrades to its in-thread loop without consulting ``executor``.
+        """
+        if self.executor == "serial":
+            return 1
         n = self.max_workers if self.max_workers > 0 else (os.cpu_count() or 1)
         return min(n, MAX_POOL_WORKERS)
+
+    @property
+    def uses_processes(self) -> bool:
+        """Whether scatter sites should route to the process backend."""
+        return self.executor == "process" and self.workers > 1
 
 
 # ----------------------------------------------------------------------
@@ -138,6 +171,28 @@ def shutdown_pool() -> None:
         pool, _POOL, _POOL_WORKERS = _POOL, None, 0
     if pool is not None:
         pool.shutdown(wait=True)
+
+
+def shutdown_default_pools() -> None:
+    """Stop every shared pool: the thread pool and — when the process
+    backend was ever started — the process pool.  The procpool import is
+    lazy so the serial/thread paths never pay for it."""
+    shutdown_pool()
+    import sys
+
+    procpool = sys.modules.get("repro.engine.procpool")
+    if procpool is not None:
+        procpool.shutdown_process_pool()
+
+
+def _shutdown_at_exit() -> None:  # pragma: no cover - exercised at exit
+    # Non-daemon pool threads would otherwise block interpreter teardown;
+    # forked workers inherit this hook but must not touch parent pools.
+    if os.getpid() == _OWNER_PID:
+        shutdown_default_pools()
+
+
+atexit.register(_shutdown_at_exit)
 
 
 def _in_pool_thread() -> bool:
@@ -271,6 +326,7 @@ def resolve_options(options: ExecutionOptions | None) -> ExecutionOptions:
 
 
 __all__ = [
+    "EXECUTOR_BACKENDS",
     "ExecutionOptions",
     "MAX_POOL_WORKERS",
     "chunk_ranges",
@@ -280,5 +336,6 @@ __all__ = [
     "parallel_map",
     "resolve_options",
     "set_default_options",
+    "shutdown_default_pools",
     "shutdown_pool",
 ]

@@ -1,0 +1,803 @@
+"""Process-based execution backend: worker pool + shared-memory column arena.
+
+The thread backend (:mod:`repro.engine.parallel`) scatters §4.2.2 pieces
+and pre-processing chunks across threads, but the hot loops spend enough
+time holding the GIL that four worker threads run *slower* than the
+serial loop (``BENCH_parallel.json`` v1: 0.85x execution, 0.58x
+pre-processing).  This module provides the escape hatch: a sibling
+``ProcessPoolExecutor`` selected via ``ExecutionOptions.executor ==
+"process"``, fed with **small picklable descriptors** instead of tables.
+
+Shared-memory column arena
+--------------------------
+Pickling a sample table into every task would serialise megabytes per
+piece and erase the multi-core win.  Instead the parent publishes each
+numpy buffer once into a :mod:`multiprocessing.shared_memory` segment:
+
+* :meth:`ColumnArena.publish_array` copies ``Column.data`` (or any
+  ndarray) into a segment and returns an :class:`ArrayHandle` — segment
+  name, dtype, shape — a few hundred bytes regardless of data size;
+* string dictionaries are pickled **once** into a :class:`BlobHandle`
+  segment, not once per task;
+* workers attach by name and reconstruct zero-copy, read-only
+  ``np.ndarray`` views (:func:`resolve_array` / :func:`resolve_column` /
+  :func:`resolve_table`), cached per handle so repeated tasks in one
+  worker reuse the same ``Column`` objects — which keeps the worker-side
+  execution cache and zone maps effective across tasks.
+
+Publishes are keyed by **object identity validated through weakrefs**,
+the same discipline the execution cache uses: an entry is reused only
+while the anchor is the same live object, and dies with it (the weakref
+callback unlinks the segment).  Explicit invalidation
+(``Database.append_rows`` / ``drop_table``, incremental sample inserts)
+flows through the execution cache's invalidation listeners, so replaced
+tables release their segments immediately.  Everything left is unlinked
+by an ``atexit`` hook; each segment is unlinked exactly once, by the
+process that created it.
+
+Determinism
+-----------
+The scatter mirrors :func:`repro.engine.parallel.parallel_map`: the work
+list is built serially, tasks are pure (module-level functions over
+descriptors — lint rule RL010), and results are gathered in submission
+order, so floating-point reductions associate exactly as in the serial
+loop and answers are byte-identical across ``executor`` backends, worker
+counts, and chunk layouts.
+
+Crash semantics
+---------------
+A worker killed mid-task surfaces as
+:class:`~repro.errors.InternalError` (never a hang): the broken pool is
+discarded and a fresh pool is spawned lazily on the next scatter.
+Workers start via :func:`_init_worker`, which replaces the inherited
+process-wide singletons (cache, registry, default options, locks) with
+fresh ones — under the ``fork`` start method another parent thread may
+have held a lock at fork time, and the inherited caches anchor parent
+objects the worker will never query.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+import weakref
+from collections.abc import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.engine.bitmask import BitmaskVector
+from repro.engine.cache import add_invalidation_listener
+from repro.engine.column import Column, ColumnKind, column_from_parts
+from repro.engine.parallel import (
+    MAX_POOL_WORKERS,
+    ExecutionOptions,
+    chunk_ranges,
+)
+from repro.engine.table import Table
+from repro.errors import InternalError
+from repro.obs.registry import get_registry
+from repro.obs.trace import NULL_SPAN, Span
+
+#: PID of the process that imported this module; forked pool workers
+#: inherit module state (including ``atexit`` hooks) and must never shut
+#: down the parent's pool or unlink the parent's segments.
+_OWNER_PID = os.getpid()
+
+
+# ----------------------------------------------------------------------
+# Task descriptors (small, picklable — the only thing tasks carry)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArrayHandle:
+    """Descriptor of one shared-memory ndarray.
+
+    ``segment`` is ``None`` for empty arrays (POSIX shared memory cannot
+    be zero-sized); workers materialise ``np.empty`` instead.
+    """
+
+    segment: str | None
+    dtype: str
+    shape: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class BlobHandle:
+    """Descriptor of a pickled object stored once in shared memory."""
+
+    segment: str
+    n_bytes: int
+
+
+@dataclass(frozen=True)
+class ColumnHandle:
+    """Descriptor of a :class:`~repro.engine.column.Column`."""
+
+    kind: str
+    data: ArrayHandle
+    dictionary: BlobHandle | None
+
+
+@dataclass(frozen=True)
+class BitmaskHandle:
+    """Descriptor of a :class:`~repro.engine.bitmask.BitmaskVector`."""
+
+    n_bits: int
+    words: ArrayHandle
+
+
+@dataclass(frozen=True)
+class TableHandle:
+    """Descriptor of a (possibly column-pruned) table."""
+
+    name: str
+    columns: tuple[tuple[str, ColumnHandle], ...]
+    bitmask: BitmaskHandle | None
+    n_rows: int
+
+
+# ----------------------------------------------------------------------
+# Parent side: the arena
+# ----------------------------------------------------------------------
+class _Segment:
+    """One shared-memory segment, unlinked exactly once by its creator.
+
+    ``refs`` counts the arena entries owning the segment; the unlink
+    happens when the last owner releases it.  Today each segment has a
+    single owning entry, but the count keeps sharing (two anchors
+    publishing the same buffer) safe by construction.
+    """
+
+    __slots__ = ("name", "shm", "owner_pid", "refs", "released")
+
+    def __init__(self, shm: shared_memory.SharedMemory) -> None:
+        self.name = shm.name
+        self.shm = shm
+        self.owner_pid = os.getpid()
+        self.refs = 1
+        self.released = False
+
+    def release(self) -> bool:
+        """Drop one reference; unlink on the last.  Returns whether the
+        segment was unlinked (always false in forked children — only the
+        creating process may unlink a name from the shared namespace)."""
+        if os.getpid() != self.owner_pid or self.released:
+            return False
+        self.refs -= 1
+        if self.refs > 0:
+            return False
+        self.released = True
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        self.shm.close()
+        return True
+
+
+@dataclass
+class _Entry:
+    """One published object: identity anchor, its handle, owned segments."""
+
+    ref: weakref.ref
+    handle: Any
+    segments: tuple[_Segment, ...]
+
+
+class ColumnArena:
+    """Identity-keyed registry of shared-memory copies of engine buffers.
+
+    Thread-safe (one re-entrant lock — weakref death callbacks can fire
+    while the owning thread already holds it).  Publishing is an
+    optimisation, never a requirement: a released entry is simply
+    republished on the next scatter.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._owner_pid = os.getpid()
+        self._entries: dict[int, _Entry] = {}
+        self._created: list[str] = []
+        self._released: list[str] = []
+
+    # -- publishing ----------------------------------------------------
+    def _create_segment(self, n_bytes: int) -> _Segment:
+        segment = _Segment(
+            shared_memory.SharedMemory(create=True, size=max(1, n_bytes))
+        )
+        self._created.append(segment.name)
+        get_registry().incr("arena.segments_created")
+        return segment
+
+    def _store(
+        self, anchor: Any, handle: Any, segments: tuple[_Segment, ...]
+    ) -> None:
+        key = id(anchor)
+
+        def _on_death(_ref: weakref.ref, key: int = key) -> None:
+            arena = _arena_ref()
+            if arena is not None:
+                arena._release_key(key)
+
+        _arena_ref = weakref.ref(self)
+        with self._lock:
+            self._entries[key] = _Entry(
+                ref=weakref.ref(anchor, _on_death),
+                handle=handle,
+                segments=segments,
+            )
+
+    def publish_array(self, array: np.ndarray) -> ArrayHandle:
+        """Publish one ndarray, reusing the live entry for this object."""
+        registry = get_registry()
+        with self._lock:
+            entry = self._entries.get(id(array))
+            if entry is not None and entry.ref() is array:
+                registry.incr("arena.publish_hits")
+                return entry.handle
+            started = time.perf_counter()
+            contiguous = np.ascontiguousarray(array)
+            if contiguous.nbytes == 0:
+                handle = ArrayHandle(
+                    None, str(contiguous.dtype), tuple(contiguous.shape)
+                )
+                segments: tuple[_Segment, ...] = ()
+            else:
+                segment = self._create_segment(contiguous.nbytes)
+                view = np.ndarray(
+                    contiguous.shape,
+                    dtype=contiguous.dtype,
+                    buffer=segment.shm.buf,
+                )
+                view[...] = contiguous
+                handle = ArrayHandle(
+                    segment.name, str(contiguous.dtype), tuple(contiguous.shape)
+                )
+                segments = (segment,)
+            self._store(array, handle, segments)
+            registry.observe(
+                "arena.publish_seconds", time.perf_counter() - started
+            )
+            return handle
+
+    def publish_column(self, column: Column) -> ColumnHandle:
+        """Publish a column: data via :meth:`publish_array`, the string
+        dictionary pickled once into its own segment."""
+        registry = get_registry()
+        with self._lock:
+            entry = self._entries.get(id(column))
+            if entry is not None and entry.ref() is column:
+                registry.incr("arena.publish_hits")
+                return entry.handle
+            data_handle = self.publish_array(column.data)
+            blob: BlobHandle | None = None
+            segments: tuple[_Segment, ...] = ()
+            if column.dictionary is not None:
+                started = time.perf_counter()
+                payload = pickle.dumps(
+                    column.dictionary, protocol=pickle.HIGHEST_PROTOCOL
+                )
+                segment = self._create_segment(len(payload))
+                segment.shm.buf[: len(payload)] = payload
+                blob = BlobHandle(segment.name, len(payload))
+                segments = (segment,)
+                registry.observe(
+                    "arena.publish_seconds", time.perf_counter() - started
+                )
+            handle = ColumnHandle(column.kind.value, data_handle, blob)
+            self._store(column, handle, segments)
+            return handle
+
+    def publish_bitmask(self, vector: BitmaskVector) -> BitmaskHandle:
+        """Publish a bitmask vector (its words array backs the handle)."""
+        registry = get_registry()
+        with self._lock:
+            entry = self._entries.get(id(vector))
+            if entry is not None and entry.ref() is vector:
+                registry.incr("arena.publish_hits")
+                return entry.handle
+            handle = BitmaskHandle(vector.n_bits, self.publish_array(vector.words))
+            self._store(vector, handle, ())
+            return handle
+
+    def publish_table(
+        self, table: Table, columns: Iterable[str] | None = None
+    ) -> TableHandle:
+        """Publish (a column subset of) a table.
+
+        ``columns`` restricts the handle to what the task actually reads
+        — rewritten pieces reference a handful of the stored columns, so
+        the parent never copies the rest into shared memory.  The handle
+        itself is rebuilt per call (it is cheap); the per-column segments
+        are the cached part.
+        """
+        names = list(columns) if columns is not None else list(table.column_names)
+        published = tuple(
+            (name, self.publish_column(table.column(name))) for name in names
+        )
+        bitmask = (
+            self.publish_bitmask(table.bitmask)
+            if table.bitmask is not None
+            else None
+        )
+        return TableHandle(table.name, published, bitmask, table.n_rows)
+
+    # -- release -------------------------------------------------------
+    def _release_key(self, key: int) -> int:
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return 0
+            for segment in entry.segments:
+                if segment.release():
+                    self._released.append(segment.name)
+                    get_registry().incr("arena.segments_released")
+            return 1
+
+    def release_object(self, obj: Any) -> int:
+        """Release the entry anchored on ``obj`` (and its buffers).
+
+        Columns release their data-array entry too; bitmask vectors their
+        words entry; tables every column plus the bitmask.  Returns the
+        number of entries dropped.
+        """
+        released = 0
+        with self._lock:
+            entry = self._entries.get(id(obj))
+            if entry is not None:
+                target = entry.ref()
+                if target is None or target is obj:
+                    released += self._release_key(id(obj))
+            if isinstance(obj, Column):
+                released += self.release_object(obj.data)
+            elif isinstance(obj, BitmaskVector):
+                released += self.release_object(obj.words)
+            elif isinstance(obj, Table):
+                released += self.release_table(obj)
+        return released
+
+    def release_table(self, table: Table) -> int:
+        """Release every column (and the bitmask) of ``table``."""
+        released = 0
+        with self._lock:
+            for name in table.column_names:
+                released += self.release_object(table.column(name))
+            if table.bitmask is not None:
+                released += self.release_object(table.bitmask)
+        return released
+
+    def release_all(self) -> int:
+        """Release every entry (interpreter exit, session close, tests)."""
+        with self._lock:
+            keys = list(self._entries)
+            return sum(self._release_key(key) for key in keys)
+
+    # -- introspection (tests, benchmarks) -----------------------------
+    def active_segment_names(self) -> tuple[str, ...]:
+        """Names of segments currently owned by live entries."""
+        with self._lock:
+            return tuple(
+                segment.name
+                for entry in self._entries.values()
+                for segment in entry.segments
+                if not segment.released
+            )
+
+    def created_segment_names(self) -> tuple[str, ...]:
+        """Every segment name this arena ever created."""
+        with self._lock:
+            return tuple(self._created)
+
+    def released_segment_names(self) -> tuple[str, ...]:
+        """Every segment name this arena unlinked."""
+        with self._lock:
+            return tuple(self._released)
+
+    def leaked_segment_names(self) -> tuple[str, ...]:
+        """Released names still attachable — must always be empty."""
+        leaked = []
+        for name in self.released_segment_names():
+            try:
+                probe = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue
+            probe.close()
+            leaked.append(name)
+        return tuple(leaked)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_ARENA: ColumnArena | None = None
+_ARENA_LOCK = threading.Lock()
+_LISTENER_REGISTERED = False
+
+
+def _on_invalidate(obj: Any) -> None:
+    """Execution-cache invalidation listener: release arena entries for
+    invalidated anchors (``append_rows``/``insert_rows``/``drop_table``)."""
+    arena = _ARENA
+    if arena is not None and os.getpid() == arena._owner_pid:
+        arena.release_object(obj)
+
+
+def get_arena() -> ColumnArena:
+    """The process-wide column arena, created lazily."""
+    global _ARENA, _LISTENER_REGISTERED
+    with _ARENA_LOCK:
+        if _ARENA is None:
+            _ARENA = ColumnArena()
+            if not _LISTENER_REGISTERED:
+                add_invalidation_listener(_on_invalidate)
+                _LISTENER_REGISTERED = True
+        return _ARENA
+
+
+# ----------------------------------------------------------------------
+# The process pool (lazily started, grown on demand, never shrunk)
+# ----------------------------------------------------------------------
+_PROC_POOL: ProcessPoolExecutor | None = None
+_PROC_POOL_WORKERS = 0
+_PROC_LOCK = threading.Lock()
+_IN_WORKER = False
+
+
+def _mp_context():
+    """``fork`` where available (cheap worker start, no re-import); the
+    platform default (``spawn``) otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+
+
+def in_worker() -> bool:
+    """Whether the current process is a pool worker (nested scatters
+    degrade to serial loops, mirroring the thread pool's guard)."""
+    return _IN_WORKER
+
+
+def _init_worker() -> None:
+    """Worker initialiser: mark the process and reset inherited state.
+
+    Under ``fork`` the worker inherits the parent's module globals —
+    including locks another parent thread may have held at fork time and
+    caches anchored on parent objects.  Every process-wide singleton the
+    worker may touch is therefore *replaced* (fresh locks included)
+    rather than mutated through possibly-poisoned locks.  The arena
+    reference is dropped without releasing: only the parent may unlink.
+    """
+    global _IN_WORKER, _ARENA, _ARENA_LOCK, _PROC_LOCK
+    global _PROC_POOL, _PROC_POOL_WORKERS
+    _IN_WORKER = True
+    # Fresh locks first (the inherited ones may be held by a parent
+    # thread that no longer exists here), then the pool globals under
+    # the worker's own lock — the same discipline the parent follows.
+    _ARENA_LOCK = threading.Lock()
+    _PROC_LOCK = threading.Lock()
+    with _PROC_LOCK:
+        _ARENA = None
+        _PROC_POOL = None
+        _PROC_POOL_WORKERS = 0
+    _WORKER_SHM.clear()
+    _WORKER_ARRAYS.clear()
+    _WORKER_BLOBS.clear()
+    _WORKER_COLUMNS.clear()
+    _WORKER_VECTORS.clear()
+    _WORKER_TABLES.clear()
+    from repro.engine import cache as cache_module
+    from repro.engine import parallel as parallel_module
+    from repro.obs import registry as registry_module
+
+    cache_module._GLOBAL_CACHE = cache_module.ExecutionCache()
+    parallel_module._DEFAULT_OPTIONS = parallel_module.ExecutionOptions()
+    parallel_module._OPTIONS_LOCK = threading.Lock()
+    parallel_module._POOL = None
+    parallel_module._POOL_WORKERS = 0
+    parallel_module._POOL_LOCK = threading.Lock()
+    registry_module._GLOBAL_REGISTRY = registry_module.MetricsRegistry()
+
+
+def get_process_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared process pool, lazily started with >= ``workers``
+    processes.  Grow-only, exactly like the thread pool: a larger
+    request replaces the pool; the old one drains without blocking."""
+    global _PROC_POOL, _PROC_POOL_WORKERS
+    workers = max(1, min(workers, MAX_POOL_WORKERS))
+    with _PROC_LOCK:
+        if _PROC_POOL is None or _PROC_POOL_WORKERS < workers:
+            old = _PROC_POOL
+            _PROC_POOL = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=_mp_context(),
+                initializer=_init_worker,
+            )
+            _PROC_POOL_WORKERS = workers
+            if old is not None:
+                old.shutdown(wait=False)
+        return _PROC_POOL
+
+
+def shutdown_process_pool() -> None:
+    """Stop the process pool (tests / interpreter teardown)."""
+    global _PROC_POOL, _PROC_POOL_WORKERS
+    with _PROC_LOCK:
+        pool, _PROC_POOL, _PROC_POOL_WORKERS = _PROC_POOL, None, 0
+    if pool is not None:
+        pool.shutdown(wait=True)
+
+
+def _discard_broken_pool() -> None:
+    """Forget a broken pool so the next scatter respawns fresh workers."""
+    global _PROC_POOL, _PROC_POOL_WORKERS
+    with _PROC_LOCK:
+        pool, _PROC_POOL, _PROC_POOL_WORKERS = _PROC_POOL, None, 0
+    if pool is not None:
+        pool.shutdown(wait=False)
+
+
+# ----------------------------------------------------------------------
+# Scatter/gather
+# ----------------------------------------------------------------------
+#: Wall-clock seconds the *current worker task* spent attaching segments;
+#: reset per task by :func:`_invoke` and reported back to the parent
+#: (worker processes cannot write the parent's metrics registry).
+_ATTACH_SECONDS = 0.0
+
+
+def _invoke(fn: Callable[[Any], Any], payload: Any) -> tuple[Any, float]:
+    """Worker entry point: run one task, reporting its attach time."""
+    global _ATTACH_SECONDS
+    _ATTACH_SECONDS = 0.0
+    result = fn(payload)
+    return result, _ATTACH_SECONDS
+
+
+def process_map(
+    fn: Callable[[Any], Any],
+    payloads: Iterable[Any],
+    options: ExecutionOptions,
+    span: Span = NULL_SPAN,
+) -> list[Any]:
+    """Apply ``fn`` to every payload on the process pool, in order.
+
+    ``fn`` must be a module-level function and each payload a small
+    picklable descriptor (lint rule RL010); workers resolve descriptors
+    against the arena.  Results are gathered by submission index —
+    byte-identical association order to the serial loop.  Degrades to a
+    serial loop in-parent for a single payload, ``workers <= 1``, or
+    when already inside a worker (descriptors resolve fine in the parent
+    too — the arena creator can attach to its own segments).
+
+    A worker death (e.g. the OS OOM-killer) raises
+    :class:`~repro.errors.InternalError` after discarding the pool;
+    ordinary task exceptions propagate unchanged.
+    """
+    payloads = list(payloads)
+    if not payloads:
+        return []
+    workers = options.workers
+    if _IN_WORKER or workers <= 1 or len(payloads) <= 1:
+        return [fn(payload) for payload in payloads]
+    pool = get_process_pool(workers)
+    started = time.perf_counter()
+    try:
+        futures = [pool.submit(_invoke, fn, payload) for payload in payloads]
+        submitted = time.perf_counter()
+        results = []
+        attach_seconds = 0.0
+        for future in futures:
+            result, attached = future.result()
+            results.append(result)
+            attach_seconds += attached
+    except BrokenProcessPool as exc:
+        _discard_broken_pool()
+        raise InternalError(
+            "a process-pool worker died while executing a scattered task; "
+            "the pool was discarded and will respawn on the next scatter"
+        ) from exc
+    gathered = time.perf_counter()
+    scatter_span = span.child("pool.scatter")
+    scatter_span.seconds = gathered - started
+    scatter_span.annotate(
+        tasks=len(payloads),
+        backend="process",
+        submit_seconds=submitted - started,
+        wait_seconds=gathered - submitted,
+        attach_seconds=attach_seconds,
+    )
+    registry = get_registry()
+    registry.incr("procpool.tasks_scattered", len(payloads))
+    registry.observe("procpool.submit_seconds", submitted - started)
+    registry.observe("procpool.wait_seconds", gathered - submitted)
+    registry.observe("procpool.attach_seconds", attach_seconds)
+    return results
+
+
+def _apply_handle_range(item: tuple[Callable[..., Any], Any, int, int]) -> Any:
+    """Pool task: apply ``fn(payload, start, stop)`` for one row chunk."""
+    fn, payload, start, stop = item
+    return fn(payload, start, stop)
+
+
+def process_map_row_chunks(
+    fn: Callable[[Any, int, int], Any],
+    payload: Any,
+    n_rows: int,
+    options: ExecutionOptions,
+    span: Span = NULL_SPAN,
+) -> list[Any]:
+    """Process-backend sibling of
+    :func:`repro.engine.parallel.map_row_chunks`: map a module-level
+    ``fn(payload, start, stop)`` over the deterministic
+    :func:`chunk_ranges` layout, results in chunk order."""
+    items = [
+        (fn, payload, start, stop)
+        for start, stop in chunk_ranges(n_rows, options.chunk_rows)
+    ]
+    return process_map(_apply_handle_range, items, options, span=span)
+
+
+# ----------------------------------------------------------------------
+# Worker side: descriptor resolution (zero-copy views, cached per handle)
+# ----------------------------------------------------------------------
+_WORKER_SHM: dict[str, shared_memory.SharedMemory] = {}
+_WORKER_ARRAYS: dict[str, np.ndarray] = {}
+_WORKER_BLOBS: dict[str, Any] = {}
+_WORKER_COLUMNS: dict[ColumnHandle, Column] = {}
+_WORKER_VECTORS: dict[BitmaskHandle, BitmaskVector] = {}
+_WORKER_TABLES: dict[TableHandle, Table] = {}
+
+#: Cached attachments before the caches are dropped wholesale.  Entries
+#: for segments the parent has since unlinked keep their (anonymous)
+#: memory alive until eviction or worker exit — bounded, and the name is
+#: already gone from the namespace either way.
+_WORKER_CACHE_LIMIT = 1024
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    shm = _WORKER_SHM.get(name)
+    if shm is None:
+        if len(_WORKER_SHM) >= _WORKER_CACHE_LIMIT:
+            # Drop references only: mappings close when the last numpy
+            # view dies (closing eagerly would invalidate live views).
+            _WORKER_SHM.clear()
+            _WORKER_ARRAYS.clear()
+            _WORKER_BLOBS.clear()
+            _WORKER_COLUMNS.clear()
+            _WORKER_VECTORS.clear()
+            _WORKER_TABLES.clear()
+        shm = shared_memory.SharedMemory(name=name)
+        _WORKER_SHM[name] = shm
+    return shm
+
+
+def resolve_array(handle: ArrayHandle) -> np.ndarray:
+    """Zero-copy, read-only ndarray view of a published segment."""
+    global _ATTACH_SECONDS
+    if handle.segment is None:
+        return np.empty(handle.shape, dtype=np.dtype(handle.dtype))
+    cached = _WORKER_ARRAYS.get(handle.segment)
+    if cached is not None:
+        return cached
+    started = time.perf_counter()
+    shm = _attach_segment(handle.segment)
+    view: np.ndarray = np.ndarray(
+        handle.shape, dtype=np.dtype(handle.dtype), buffer=shm.buf
+    )
+    view.flags.writeable = False
+    _WORKER_ARRAYS[handle.segment] = view
+    _ATTACH_SECONDS += time.perf_counter() - started
+    return view
+
+
+def resolve_blob(handle: BlobHandle) -> Any:
+    """Unpickle a published blob (string dictionaries), cached per segment."""
+    global _ATTACH_SECONDS
+    cached = _WORKER_BLOBS.get(handle.segment)
+    if cached is not None:
+        return cached
+    started = time.perf_counter()
+    shm = _attach_segment(handle.segment)
+    value = pickle.loads(bytes(shm.buf[: handle.n_bytes]))
+    _WORKER_BLOBS[handle.segment] = value
+    _ATTACH_SECONDS += time.perf_counter() - started
+    return value
+
+
+def resolve_column(handle: ColumnHandle) -> Column:
+    """Reconstruct a column over the shared buffer, cached per handle.
+
+    The cache keeps column *identity* stable across tasks in one worker,
+    which is what makes the worker-side execution cache (group ids,
+    predicate masks, zone maps — all keyed on column identity) effective.
+    """
+    cached = _WORKER_COLUMNS.get(handle)
+    if cached is not None:
+        return cached
+    data = resolve_array(handle.data)
+    dictionary = (
+        resolve_blob(handle.dictionary)
+        if handle.dictionary is not None
+        else None
+    )
+    column = column_from_parts(ColumnKind(handle.kind), data, dictionary)
+    _WORKER_COLUMNS[handle] = column
+    return column
+
+
+def resolve_bitmask(handle: BitmaskHandle) -> BitmaskVector:
+    """Reconstruct a bitmask vector over the shared words buffer."""
+    cached = _WORKER_VECTORS.get(handle)
+    if cached is not None:
+        return cached
+    words = resolve_array(handle.words)
+    vector = BitmaskVector(int(words.shape[0]), handle.n_bits, words=words)
+    _WORKER_VECTORS[handle] = vector
+    return vector
+
+
+def resolve_table(handle: TableHandle) -> Table:
+    """Reconstruct a table from its handle, cached per handle so table
+    identity (and the cache entries anchored on it) survives across
+    tasks within one worker."""
+    cached = _WORKER_TABLES.get(handle)
+    if cached is not None:
+        return cached
+    table = Table(
+        handle.name,
+        {name: resolve_column(col) for name, col in handle.columns},
+        bitmask=(
+            resolve_bitmask(handle.bitmask)
+            if handle.bitmask is not None
+            else None
+        ),
+    )
+    _WORKER_TABLES[handle] = table
+    return table
+
+
+# ----------------------------------------------------------------------
+# Interpreter teardown
+# ----------------------------------------------------------------------
+def _shutdown_at_exit() -> None:  # pragma: no cover - exercised at exit
+    if os.getpid() != _OWNER_PID:
+        return
+    shutdown_process_pool()
+    arena = _ARENA
+    if arena is not None:
+        arena.release_all()
+
+
+atexit.register(_shutdown_at_exit)
+
+
+__all__ = [
+    "ArrayHandle",
+    "BitmaskHandle",
+    "BlobHandle",
+    "ColumnArena",
+    "ColumnHandle",
+    "TableHandle",
+    "get_arena",
+    "get_process_pool",
+    "in_worker",
+    "process_map",
+    "process_map_row_chunks",
+    "resolve_array",
+    "resolve_bitmask",
+    "resolve_blob",
+    "resolve_column",
+    "resolve_table",
+    "shutdown_process_pool",
+]

@@ -18,4 +18,5 @@ from repro.lint.rules import (  # noqa: F401
     rl007_shared_state,
     rl008_zonemap,
     rl009_obs,
+    rl010_picklable_tasks,
 )

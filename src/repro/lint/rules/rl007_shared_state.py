@@ -36,8 +36,11 @@ from collections.abc import Iterable
 
 from repro.lint.core import FileContext, Finding, Rule, register
 
-#: The pool module: every function here is in scope.
-POOL_MODULE = "repro/engine/parallel.py"
+#: The pool modules: every function here is in scope.
+POOL_MODULES = (
+    "repro/engine/parallel.py",
+    "repro/engine/procpool.py",
+)
 
 #: Files whose pool-submitted functions carry the purity contract.
 SCOPE_PREFIXES = ("repro/engine/", "repro/middleware/")
@@ -47,7 +50,15 @@ SCOPE_FILES = (
 )
 
 #: Calls whose function argument runs on the worker pool.
-SUBMIT_CALLS = frozenset({"parallel_map", "map_row_chunks", "submit"})
+SUBMIT_CALLS = frozenset(
+    {
+        "parallel_map",
+        "map_row_chunks",
+        "process_map",
+        "process_map_row_chunks",
+        "submit",
+    }
+)
 
 #: Attributes holding shared engine state (cache structures, catalogs,
 #: sample layouts, session memos, metrics counters, column storage).
@@ -75,8 +86,16 @@ SHARED_STATE_ATTRS = frozenset(
     }
 )
 
-#: Module-level globals of the pool module itself.
-SHARED_GLOBALS = frozenset({"_POOL", "_POOL_WORKERS", "_DEFAULT_OPTIONS"})
+#: Module-level globals of the pool modules themselves.
+SHARED_GLOBALS = frozenset(
+    {
+        "_POOL",
+        "_POOL_WORKERS",
+        "_DEFAULT_OPTIONS",
+        "_PROC_POOL",
+        "_PROC_POOL_WORKERS",
+    }
+)
 
 #: Method names that mutate their receiver in place.
 MUTATING_METHODS = frozenset(
@@ -198,7 +217,7 @@ class SharedStateInPoolTask(Rule):
 
     def applies_to(self, ctx: FileContext) -> bool:
         return (
-            ctx.path == POOL_MODULE
+            ctx.path in POOL_MODULES
             or ctx.path.startswith(SCOPE_PREFIXES)
             or ctx.path in SCOPE_FILES
         )
@@ -207,9 +226,13 @@ class SharedStateInPoolTask(Rule):
         names, lambdas = _submitted_functions(ctx.tree)
         roots: list[ast.AST] = list(lambdas)
         for node in ast.walk(ctx.tree):
-            if isinstance(
-                node, (ast.FunctionDef, ast.AsyncFunctionDef)
-            ) and (ctx.path == POOL_MODULE or node.name in names):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+                # ``__init__`` is exempt from the whole-module scan:
+                # construction precedes publication, so nothing can race
+                # the stores (the same argument RL008 encodes).
+                (ctx.path in POOL_MODULES and node.name != "__init__")
+                or node.name in names
+            ):
                 roots.append(node)
 
         findings: list[Finding] = []

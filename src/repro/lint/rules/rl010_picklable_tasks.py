@@ -1,0 +1,124 @@
+"""RL010 — non-picklable callables submitted to the process pool.
+
+The process backend (:mod:`repro.engine.procpool`) ships each task to a
+worker *by reference*: ``pickle`` serialises a module-level function as
+its dotted name, and the worker imports it.  Anything else breaks the
+contract — and not always loudly:
+
+* a **lambda** or **nested function** fails to pickle at submit time
+  (``PicklingError``), but only on the process path, so the bug hides
+  until someone first runs ``--executor process``;
+* a **bound method** pickles its ``self`` — dragging a whole technique,
+  session, or table object through the task queue, which defeats the
+  shared-memory arena (megabytes re-serialised per task) and couples
+  the worker to parent state it must not share.
+
+Pool tasks must be *module-level functions over small descriptor
+payloads* (handles from the column arena, plain queries, scalars).  This
+rule makes that structural: the function argument of every
+``process_map(...)`` / ``process_map_row_chunks(...)`` call — and of
+``submit(...)`` calls in the process-pool module itself — must resolve
+to a module-level ``def`` (or an imported name, which is module-level in
+its defining module).  Lambdas, attribute references (bound methods),
+and names only defined in a nested scope are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.core import FileContext, Finding, Rule, register
+
+#: The process-pool module: its ``submit`` calls are also in scope.
+PROC_POOL_MODULE = "repro/engine/procpool.py"
+
+#: Calls whose first positional argument runs in a worker process.
+PROCESS_SUBMIT_CALLS = frozenset({"process_map", "process_map_row_chunks"})
+
+
+def _module_level_callables(tree: ast.Module) -> set[str]:
+    """Names bound at module scope that pickle by reference: ``def``s,
+    classes, and imported names (module-level in their home module)."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def _submit_calls(
+    tree: ast.Module, include_pool_submit: bool
+) -> Iterable[tuple[ast.Call, ast.AST]]:
+    """Every process-pool submission call with its function argument."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        call_name = (
+            func.attr if isinstance(func, ast.Attribute) else
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if call_name in PROCESS_SUBMIT_CALLS:
+            yield node, node.args[0]
+        elif include_pool_submit and call_name == "submit":
+            yield node, node.args[0]
+
+
+@register
+class NonPicklableProcessTask(Rule):
+    rule_id = "RL010"
+    title = "non-picklable callable submitted to the process pool"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # Process-pool submissions can come from anywhere in the
+        # package; scanning every file keeps a future call site honest.
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        module_names = _module_level_callables(ctx.tree)
+        include_pool_submit = ctx.path == PROC_POOL_MODULE
+        for call, submitted in _submit_calls(ctx.tree, include_pool_submit):
+            if isinstance(submitted, ast.Lambda):
+                yield self.finding(
+                    ctx,
+                    call,
+                    "submits a lambda to the process pool; lambdas cannot "
+                    "pickle — define a module-level function taking a "
+                    "descriptor payload instead",
+                )
+            elif isinstance(submitted, ast.Attribute):
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"submits attribute {submitted.attr!r} (a bound method "
+                    "or object attribute) to the process pool; the pickled "
+                    "task would drag its object through the task queue — "
+                    "submit a module-level function over arena handles "
+                    "instead",
+                )
+            elif isinstance(submitted, ast.Name):
+                if submitted.id not in module_names:
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"submits {submitted.id!r}, which is not a "
+                        "module-level function of this module; nested "
+                        "functions and closures cannot pickle — hoist the "
+                        "task to module scope with descriptor-only "
+                        "arguments",
+                    )
+            else:
+                yield self.finding(
+                    ctx,
+                    call,
+                    "submits a computed expression to the process pool; "
+                    "tasks must be module-level functions so they pickle "
+                    "by reference",
+                )

@@ -181,6 +181,36 @@ class AQPSession:
         self._plan_memo: dict[Query, tuple[AQPTechnique, int, list]] = {}
 
     # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release session-scoped derived state.
+
+        Clears the parse/plan memos and releases every shared-memory
+        segment of the process backend's column arena.  The arena is
+        process-wide (like the execution cache), so closing one session
+        releases segments other live sessions may be about to use — that
+        is safe, not wrong: a released segment is simply republished on
+        the next process scatter.  The worker pools stay up (they are
+        process-wide and shut down atexit, or explicitly via
+        :func:`repro.engine.parallel.shutdown_default_pools`).
+        """
+        with self._lock:
+            self._parse_memo.clear()
+            self._plan_memo.clear()
+        import sys
+
+        procpool = sys.modules.get("repro.engine.procpool")
+        if procpool is not None:
+            procpool.get_arena().release_all()
+
+    def __enter__(self) -> "AQPSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
     def install(self, technique: AQPTechnique) -> PreprocessReport:

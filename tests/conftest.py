@@ -47,6 +47,29 @@ def flat_db() -> Database:
     )
 
 
+@pytest.fixture(scope="session", autouse=True)
+def shared_memory_leak_check():
+    """Suite-wide guard: no shared-memory segment outlives the tests.
+
+    Segments live in a global OS namespace (``/dev/shm``), so a leak
+    persists after the interpreter exits.  After the whole suite ran,
+    release everything still published and assert that every segment the
+    arena ever unlinked is really gone, then stop the worker pools so
+    pytest does not exit with stray processes.
+    """
+    yield
+    import sys
+
+    procpool = sys.modules.get("repro.engine.procpool")
+    if procpool is not None:
+        arena = procpool.get_arena()
+        arena.release_all()
+        assert arena.leaked_segment_names() == ()
+    from repro.engine.parallel import shutdown_default_pools
+
+    shutdown_default_pools()
+
+
 @pytest.fixture()
 def small_table() -> Table:
     """A hand-written 8-row table with known aggregates."""

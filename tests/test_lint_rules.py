@@ -590,6 +590,108 @@ class TestRL009ObservabilityReads:
             assert run_rule("RL009", self.BAD_ATTR_READ, path) == []
 
 
+class TestRL010NonPicklableProcessTask:
+    BAD_LAMBDA = """
+        def scatter(payloads, options):
+            return process_map(lambda p: p + 1, payloads, options)
+    """
+
+    BAD_BOUND_METHOD = """
+        def scatter(technique, payloads, options):
+            return process_map(technique.execute, payloads, options)
+    """
+
+    BAD_NESTED_FUNCTION = """
+        def scatter(payloads, options):
+            def task(payload):
+                return payload + 1
+            return process_map(task, payloads, options)
+    """
+
+    BAD_ROW_CHUNKS = """
+        def scan(handle, n_rows, options):
+            return process_map_row_chunks(
+                lambda h, lo, hi: hi - lo, handle, n_rows, options
+            )
+    """
+
+    GOOD_MODULE_LEVEL = """
+        def _task(payload):
+            return payload + 1
+
+        def scatter(payloads, options):
+            return process_map(_task, payloads, options)
+    """
+
+    GOOD_IMPORTED = """
+        from repro.engine.stats import _histogram_chunk
+
+        def scan(handle, n_rows, options):
+            return process_map_row_chunks(
+                _histogram_chunk, handle, n_rows, options
+            )
+    """
+
+    GOOD_THREAD_LAMBDA = """
+        def scatter(items, workers):
+            return parallel_map(lambda item: item + 1, items, workers)
+    """
+
+    def test_fires_on_lambda(self):
+        findings = run_rule("RL010", self.BAD_LAMBDA, "repro/core/foo.py")
+        assert len(findings) == 1
+        assert "lambda" in findings[0].message
+
+    def test_fires_on_bound_method(self):
+        findings = run_rule(
+            "RL010", self.BAD_BOUND_METHOD, "repro/core/foo.py"
+        )
+        assert len(findings) == 1
+        assert "'execute'" in findings[0].message
+
+    def test_fires_on_nested_function(self):
+        findings = run_rule(
+            "RL010", self.BAD_NESTED_FUNCTION, "repro/core/foo.py"
+        )
+        assert len(findings) == 1
+        assert "'task'" in findings[0].message
+        assert "module-level" in findings[0].message
+
+    def test_fires_on_row_chunk_variant(self):
+        findings = run_rule("RL010", self.BAD_ROW_CHUNKS, "repro/engine/foo.py")
+        assert len(findings) == 1
+
+    def test_module_level_function_passes(self):
+        assert (
+            run_rule("RL010", self.GOOD_MODULE_LEVEL, "repro/core/foo.py")
+            == []
+        )
+
+    def test_imported_name_passes(self):
+        assert (
+            run_rule("RL010", self.GOOD_IMPORTED, "repro/engine/foo.py") == []
+        )
+
+    def test_thread_pool_lambda_not_flagged(self):
+        # parallel_map runs on threads; closures are fine there.
+        assert (
+            run_rule("RL010", self.GOOD_THREAD_LAMBDA, "repro/core/foo.py")
+            == []
+        )
+
+    def test_pool_submit_checked_inside_procpool_module(self):
+        source = """
+            def process_map(fn, payloads, options):
+                return [pool.submit(lambda: fn(p)) for p in payloads]
+        """
+        findings = run_rule(
+            "RL010", source, "repro/engine/procpool.py"
+        )
+        assert len(findings) == 1
+        # The same submit call elsewhere is a thread-pool submit.
+        assert run_rule("RL010", source, "repro/engine/parallel.py") == []
+
+
 class TestInfrastructure:
     def test_unparsable_file_is_reported_not_raised(self):
         findings = lint_source("def broken(:", "repro/engine/foo.py")
@@ -602,9 +704,9 @@ class TestInfrastructure:
 
     def test_every_rule_has_id_and_title(self):
         rules = all_rules()
-        assert [r.rule_id for r in rules] == sorted(
+        assert [r.rule_id for r in rules] == [
             f"RL00{i}" for i in range(1, 10)
-        )
+        ] + ["RL010"]
         assert all(r.title for r in rules)
 
 

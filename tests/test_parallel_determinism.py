@@ -22,6 +22,7 @@ from repro.engine.executor import execute
 from repro.engine.parallel import (
     ExecutionOptions,
     set_default_options,
+    shutdown_default_pools,
     shutdown_pool,
 )
 from repro.engine.stats import collect_column_stats
@@ -206,6 +207,94 @@ class TestSkippingDeterminism:
         for result in results[1:]:
             assert result.rows == results[0].rows
             assert result.raw_counts == results[0].raw_counts
+
+
+class TestExecutorBackendDeterminism:
+    """The ``executor`` knob (serial / thread / process) is a pure
+    throughput knob, exactly like ``max_workers`` and ``chunk_rows``:
+    the process backend scatters the same deterministic work lists and
+    gathers in the same submission order, so every estimate, variance,
+    CI, and ``rows_scanned`` is byte-identical across backends at any
+    worker count and chunk layout."""
+
+    CONFIGS = tuple(
+        ExecutionOptions(max_workers=w, chunk_rows=c, executor=e)
+        for e in ("serial", "thread", "process")
+        for w in (1, 2, 4, 8)
+        for c in (512, 2048)
+    )
+
+    def _sweep(self, answer_fn):
+        answers = {}
+        previous = None
+        for index, options in enumerate(self.CONFIGS, start=1):
+            before = set_default_options(options)
+            if previous is None:
+                previous = before
+            answers[index] = answer_fn()
+        set_default_options(previous)
+        shutdown_default_pools()
+        return answers
+
+    def test_small_group_answers_identical(self, tiny_tpch):
+        technique = SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.05, seed=7, use_reservoir=False)
+        )
+        technique.preprocess(tiny_tpch)
+        query = parse_query(SG_SQL)
+        assert_identical_answers(self._sweep(lambda: technique.answer(query)))
+
+    def test_congress_answers_identical(self, flat_db):
+        technique = BasicCongress(CongressConfig(rates=(0.05,), seed=3))
+        technique.preprocess(flat_db)
+        query = parse_query(CONGRESS_SQL)
+        assert_identical_answers(self._sweep(lambda: technique.answer(query)))
+
+    def test_exact_executor_identical(self, tiny_tpch):
+        query = parse_query(
+            "SELECT s_region, o_custregion, COUNT(*) AS cnt, "
+            "SUM(l_quantity) AS qty FROM lineitem "
+            "GROUP BY s_region, o_custregion"
+        )
+        results = [
+            execute(tiny_tpch, query, options=options)
+            for options in self.CONFIGS
+        ]
+        shutdown_default_pools()
+        for result in results[1:]:
+            assert result.rows == results[0].rows
+            assert result.raw_counts == results[0].raw_counts
+
+    def test_preprocessing_stats_identical(self, flat_db):
+        table = flat_db.fact_table
+        results = [
+            collect_column_stats(table, options=options)
+            for options in self.CONFIGS
+        ]
+        shutdown_default_pools()
+        serial = results[0]
+        for stats in results[1:]:
+            assert set(stats) == set(serial)
+            for name, column_stats in serial.items():
+                assert stats[name].kind is column_stats.kind
+                assert stats[name].frequencies == column_stats.frequencies
+
+    def test_preprocessing_build_identical_across_backends(self, tiny_tpch):
+        # Build the sample layout under each backend; the stored samples
+        # (and therefore any answer) must match the serial build exactly.
+        query = parse_query(SG_SQL)
+        answers = {}
+        for index, executor in enumerate(("serial", "thread", "process")):
+            technique = SmallGroupSampling(
+                SmallGroupConfig(base_rate=0.05, seed=7, use_reservoir=False),
+                options=ExecutionOptions(
+                    max_workers=4, chunk_rows=512, executor=executor
+                ),
+            )
+            technique.preprocess(tiny_tpch)
+            answers[index + 1] = technique.answer(query)
+        shutdown_default_pools()
+        assert_identical_answers(answers)
 
 
 class TestConcurrentSessions:

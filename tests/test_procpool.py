@@ -1,0 +1,282 @@
+"""Lifecycle and crash-semantics tests for the process backend.
+
+The shared-memory column arena (:mod:`repro.engine.procpool`) copies
+engine buffers into :mod:`multiprocessing.shared_memory` segments so
+worker processes can attach zero-copy views.  Segments live in a global
+OS namespace — a leaked one outlives the interpreter — so every release
+path gets a test: explicit release, anchor death (weakref), catalog
+invalidation (``drop_table`` / ``append_rows``), session close, and
+interpreter-exit sweep (covered by the suite-wide leak check in
+``conftest.py``).  Crash semantics get their own: a worker killed
+mid-task must surface as :class:`~repro.errors.InternalError`, never a
+hang, and the next scatter must respawn a working pool.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import signal
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.parallel import ExecutionOptions
+from repro.engine.procpool import (
+    ColumnArena,
+    get_arena,
+    process_map,
+    resolve_array,
+    resolve_column,
+    resolve_table,
+    shutdown_process_pool,
+)
+from repro.engine.table import Table
+from repro.errors import InternalError
+from repro.middleware.session import AQPSession
+from repro.obs.registry import get_registry
+
+
+def _options(workers: int = 2) -> ExecutionOptions:
+    return ExecutionOptions(max_workers=workers, executor="process")
+
+
+def _make_table(name: str = "tmp", rows: int = 64) -> Table:
+    return Table.from_dict(
+        name,
+        {
+            "grp": [("abc", "de", "fgh")[i % 3] for i in range(rows)],
+            "val": [float(i) for i in range(rows)],
+        },
+    )
+
+
+def _assert_unlinked(name: str) -> None:
+    with pytest.raises(FileNotFoundError):
+        probe = shared_memory.SharedMemory(name=name)
+        probe.close()  # pragma: no cover - only on leak
+
+
+# ----------------------------------------------------------------------
+# Pool tasks (module-level: RL010)
+# ----------------------------------------------------------------------
+def _identity(payload):
+    return payload
+
+
+def _parent_pid(_payload):
+    return os.getpid()
+
+
+def _sum_shared(handle):
+    from repro.engine import procpool
+
+    view = procpool.resolve_array(handle)
+    return float(view.sum()), procpool.in_worker(), bool(view.flags.writeable)
+
+
+def _group_count(handle):
+    table = resolve_table(handle)
+    return table.column("grp").value_counts()
+
+
+def _kill_self(_payload):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestArenaPublishResolve:
+    def test_array_round_trip_is_zero_copy_and_read_only(self):
+        arena = ColumnArena()
+        array = np.arange(4096, dtype=np.int64)
+        handle = arena.publish_array(array)
+        try:
+            view = resolve_array(handle)
+            assert np.array_equal(view, array)
+            assert not view.flags.writeable
+            assert not view.flags.owndata  # a view over the segment
+        finally:
+            arena.release_all()
+
+    def test_republish_reuses_the_live_entry(self):
+        arena = ColumnArena()
+        array = np.arange(128, dtype=np.float64)
+        try:
+            first = arena.publish_array(array)
+            second = arena.publish_array(array)
+            assert second is first
+            assert len(arena.created_segment_names()) == 1
+        finally:
+            arena.release_all()
+
+    def test_empty_array_needs_no_segment(self):
+        arena = ColumnArena()
+        handle = arena.publish_array(np.empty(0, dtype=np.int64))
+        assert handle.segment is None
+        assert arena.created_segment_names() == ()
+        resolved = resolve_array(handle)
+        assert resolved.shape == (0,)
+        assert resolved.dtype == np.int64
+
+    def test_column_round_trip_keeps_dictionary_and_identity(self):
+        arena = ColumnArena()
+        table = _make_table()
+        column = table.column("grp")
+        try:
+            handle = arena.publish_column(column)
+            resolved = resolve_column(handle)
+            assert np.array_equal(resolved.data, column.data)
+            assert resolved.dictionary == column.dictionary
+            assert resolved.kind == column.kind
+            # Handle-keyed worker cache: same handle, same object — the
+            # identity the worker-side execution cache anchors on.
+            assert resolve_column(handle) is resolved
+        finally:
+            arena.release_all()
+
+    def test_publish_table_prunes_to_requested_columns(self):
+        arena = ColumnArena()
+        table = _make_table()
+        try:
+            handle = arena.publish_table(table, columns=["val"])
+            assert [name for name, _ in handle.columns] == ["val"]
+            # One data segment only: the string column was never copied.
+            assert len(arena.created_segment_names()) == 1
+        finally:
+            arena.release_all()
+
+
+class TestArenaRelease:
+    def test_release_object_unlinks_the_segment(self):
+        arena = ColumnArena()
+        array = np.arange(1024, dtype=np.int64)
+        handle = arena.publish_array(array)
+        assert handle.segment in arena.active_segment_names()
+        arena.release_object(array)
+        assert arena.active_segment_names() == ()
+        _assert_unlinked(handle.segment)
+        assert arena.leaked_segment_names() == ()
+
+    def test_anchor_death_unlinks_via_weakref(self):
+        arena = ColumnArena()
+        array = np.arange(512, dtype=np.float64)
+        handle = arena.publish_array(array)
+        name = handle.segment
+        del array, handle
+        gc.collect()
+        assert name in arena.released_segment_names()
+        _assert_unlinked(name)
+
+    def test_release_all_accounts_for_every_created_segment(self):
+        arena = ColumnArena()
+        table = _make_table()
+        arena.publish_table(table)
+        arena.publish_array(np.arange(64, dtype=np.int64))
+        assert len(arena) > 0
+        arena.release_all()
+        assert len(arena) == 0
+        assert sorted(arena.released_segment_names()) == sorted(
+            arena.created_segment_names()
+        )
+        assert arena.leaked_segment_names() == ()
+
+
+class TestCatalogInvalidation:
+    """Invalidation flows parent-side through the execution cache's
+    listeners, so the *process-wide* arena (``get_arena``) is under test
+    here, not a private instance."""
+
+    def test_drop_table_releases_published_segments(self):
+        arena = get_arena()
+        table = _make_table("doomed")
+        db = Database([table])
+        handle = arena.publish_table(table)
+        names = [col.data.segment for _, col in handle.columns]
+        db.drop_table("doomed")
+        for name in names:
+            assert name in arena.released_segment_names()
+            _assert_unlinked(name)
+        assert arena.leaked_segment_names() == ()
+
+    def test_append_rows_releases_the_replaced_table(self):
+        arena = get_arena()
+        table = _make_table("growing", rows=32)
+        db = Database([table])
+        old_handle = arena.publish_table(table)
+        old_names = [col.data.segment for _, col in old_handle.columns]
+
+        merged = db.append_rows("growing", _make_table("growing", rows=8))
+        for name in old_names:
+            assert name in arena.released_segment_names()
+            _assert_unlinked(name)
+
+        # The merged table republishes cleanly under fresh segments.
+        new_handle = arena.publish_table(merged)
+        assert new_handle.n_rows == 40
+        assert all(
+            col.data.segment not in old_names for _, col in new_handle.columns
+        )
+        arena.release_table(merged)
+        assert arena.leaked_segment_names() == ()
+
+    def test_session_close_releases_everything(self):
+        arena = get_arena()
+        table = _make_table("sessioned")
+        db = Database([table])
+        with AQPSession(db):
+            arena.publish_table(table)
+            assert arena.active_segment_names() != ()
+        assert arena.active_segment_names() == ()
+        assert arena.leaked_segment_names() == ()
+
+
+class TestProcessScatter:
+    def test_results_gather_in_submission_order(self):
+        results = process_map(_identity, list(range(24)), _options())
+        assert results == list(range(24))
+
+    def test_single_worker_degrades_to_in_parent_serial(self):
+        pids = process_map(_parent_pid, [1, 2], _options(workers=1))
+        assert pids == [os.getpid()] * 2
+
+    def test_workers_resolve_shared_arrays_zero_copy(self):
+        arena = get_arena()
+        array = np.arange(10_000, dtype=np.float64)
+        handle = arena.publish_array(array)
+        try:
+            results = process_map(_sum_shared, [handle, handle], _options())
+            expected = (float(array.sum()), True, False)
+            assert results == [expected, expected]
+        finally:
+            arena.release_object(array)
+
+    def test_workers_reconstruct_tables_from_handles(self):
+        arena = get_arena()
+        table = _make_table(rows=99)
+        handle = arena.publish_table(table)
+        try:
+            counts = process_map(_group_count, [handle, handle], _options())
+            assert counts[0] == counts[1] == {"abc": 33, "de": 33, "fgh": 33}
+        finally:
+            arena.release_table(table)
+
+    def test_scatter_records_metrics(self):
+        get_registry().reset()
+        process_map(_identity, list(range(8)), _options())
+        snapshot = get_registry().snapshot()
+        assert snapshot["counters"]["procpool.tasks_scattered"] == 8
+        for name in ("procpool.submit_seconds", "procpool.wait_seconds"):
+            assert snapshot["histograms"][name]["count"] >= 1
+
+    def test_worker_death_raises_internal_error_then_pool_respawns(self):
+        options = _options()
+        with pytest.raises(InternalError, match="worker died"):
+            process_map(_kill_self, [0, 1], options)
+        # The broken pool was discarded; the next scatter works.
+        assert process_map(_identity, [1, 2, 3], options) == [1, 2, 3]
+
+    def test_shutdown_is_idempotent_and_pool_restarts(self):
+        shutdown_process_pool()
+        shutdown_process_pool()
+        assert process_map(_identity, [5, 6], _options()) == [5, 6]
