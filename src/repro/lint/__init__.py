@@ -1,17 +1,33 @@
 """repro.lint — AST-based checker for the engine's domain invariants.
 
-Six rules encode the correctness contracts the generic linters cannot
-see (see ``docs/linting.md`` for the full rationale):
+Fourteen rules encode the correctness contracts the generic linters
+cannot see (see ``docs/linting.md`` for the full rationale):
 
 * **RL001** mutation without cache/plan invalidation;
 * **RL002** rewrite-piece scale discipline (the §4.2.2 invariant);
 * **RL003** wall clocks / fresh entropy in deterministic layers;
 * **RL004** computed expressions as identity-cache anchors;
 * **RL005** bare ``assert`` guards (stripped under ``python -O``);
-* **RL006** ``print`` outside the presentation layer.
+* **RL006** ``print`` outside the presentation layer;
+* **RL007** shared-state mutation in pool-submitted code;
+* **RL008** in-place mutation of zone-map-summarised storage;
+* **RL009** observability reads in compute layers;
+* **RL010** non-picklable callables submitted to the process pool;
+* **RL011** transitive shared-state mutation reachable from pool tasks
+  (whole-program, call-graph based);
+* **RL012** lock-order cycles / potential deadlocks (whole-program);
+* **RL013** interprocedural invalidation coverage (RL001 upgraded);
+* **RL014** non-picklable values in process-pool payloads (RL010
+  upgraded).
+
+RL011–RL014 run over a shared single-parse project index
+(:mod:`repro.lint.project`), a conservative call graph with
+pool-submission edges (:mod:`repro.lint.callgraph`), and
+interprocedural dataflow passes (:mod:`repro.lint.dataflow`).
 
 Run ``python -m repro.lint src [--format json|text] [--baseline
-lint_baseline.json]``; CI gates on the JSON output.
+lint_baseline.json] [--graph-report out.json]``; CI gates on the JSON
+output and uploads the graph report.
 """
 
 from repro.lint.baseline import (
@@ -20,6 +36,7 @@ from repro.lint.baseline import (
     baseline_payload,
     load_baseline,
 )
+from repro.lint.callgraph import CallGraph, build_call_graph
 from repro.lint.cli import main
 from repro.lint.core import (
     FileContext,
@@ -28,20 +45,28 @@ from repro.lint.core import (
     all_rules,
     lint_paths,
     lint_source,
+    parse_paths,
     register,
 )
+from repro.lint.dataflow import ProjectAnalysis
+from repro.lint.project import ProjectIndex
 
 __all__ = [
     "BaselineEntry",
+    "CallGraph",
     "FileContext",
     "Finding",
+    "ProjectAnalysis",
+    "ProjectIndex",
     "Rule",
     "all_rules",
     "apply_baseline",
     "baseline_payload",
+    "build_call_graph",
     "lint_paths",
     "lint_source",
     "load_baseline",
     "main",
+    "parse_paths",
     "register",
 ]

@@ -100,15 +100,27 @@ def apply_baseline(
     return fresh, accepted, stale
 
 
-def baseline_payload(findings: Sequence[Finding]) -> dict:
+def baseline_payload(
+    findings: Sequence[Finding],
+    existing: Sequence[BaselineEntry] = (),
+) -> tuple[dict, list[BaselineEntry]]:
     """A baseline document accepting ``findings`` (``--write-baseline``).
 
-    Reasons are emitted as TODO placeholders: a baseline is only valid
-    once a human replaces each with the actual justification.
+    The output is **deterministic**: entries are sorted by
+    ``(path, rule, symbol)`` and keys are emitted in a fixed order, so
+    regenerating the baseline on an unchanged tree is a no-op diff.
+    Entries from ``existing`` that still match a finding keep their
+    reviewed reason; new findings get TODO placeholders (a baseline is
+    only valid once a human replaces each with the actual
+    justification).  Existing entries that no longer match anything are
+    **pruned** and returned so the caller can warn about them.
     """
+    reasons = {entry.key(): entry.reason for entry in existing}
     seen: set[tuple[str, str, str]] = set()
     entries = []
-    for finding in findings:
+    for finding in sorted(
+        findings, key=lambda f: (f.path, f.rule, f.symbol)
+    ):
         if finding.key() in seen:
             continue
         seen.add(finding.key())
@@ -117,13 +129,18 @@ def baseline_payload(findings: Sequence[Finding]) -> dict:
                 "rule": finding.rule,
                 "path": finding.path,
                 "symbol": finding.symbol,
-                "reason": "TODO: justify or fix (see docs/linting.md)",
+                "reason": reasons.get(
+                    finding.key(),
+                    "TODO: justify or fix (see docs/linting.md)",
+                ),
             }
         )
-    return {
+    pruned = [entry for entry in existing if entry.key() not in seen]
+    payload = {
         "comment": (
             "Reviewed repro.lint findings accepted on the current tree. "
             "Entries match on (rule, path, symbol); see docs/linting.md."
         ),
         "entries": entries,
     }
+    return payload, pruned

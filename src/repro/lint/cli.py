@@ -2,7 +2,9 @@
 
 Exit codes: 0 when every finding is baselined (or there are none),
 1 when fresh findings exist, 2 on usage errors.  ``--format json``
-emits one machine-readable document for the CI gate.
+emits one machine-readable document for the CI gate; ``--graph-report``
+additionally writes the whole-program analysis (call graph, lock-order
+graph) as a JSON artifact plus two Graphviz dot files.
 """
 
 from __future__ import annotations
@@ -17,7 +19,7 @@ from repro.lint.baseline import (
     baseline_payload,
     load_baseline,
 )
-from repro.lint.core import all_rules, lint_paths
+from repro.lint.core import _run_rules, all_rules, parse_paths
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -25,7 +27,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description=(
             "AST-based checker for the engine's domain invariants "
-            "(RL001-RL006); see docs/linting.md"
+            "(RL001-RL014, including the whole-program concurrency/"
+            "invalidation rules RL011-RL014); see docs/linting.md"
         ),
     )
     parser.add_argument(
@@ -51,11 +54,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         metavar="FILE",
         help=(
-            "write current findings as a baseline skeleton (reasons are "
-            "TODO placeholders to be filled in review) and exit 0"
+            "write current findings as a deterministic baseline (sorted "
+            "entries, stable key order; reasons from --baseline carry "
+            "over, new entries get TODO placeholders, stale entries are "
+            "pruned with a warning) and exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--graph-report",
+        metavar="FILE",
+        help=(
+            "write the whole-program analysis report (call graph, "
+            "pool-submission edges, lock-order graph, cycles) as JSON to "
+            "FILE, plus Graphviz exports next to it "
+            "(FILE.callgraph.dot, FILE.lockorder.dot)"
         ),
     )
     return parser
+
+
+def _write_graph_report(target: str, project) -> None:
+    from repro.lint.report import callgraph_dot, graph_report, lockorder_dot
+
+    path = Path(target)
+    path.write_text(
+        json.dumps(graph_report(project), indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    path.with_suffix(path.suffix + ".callgraph.dot").write_text(
+        callgraph_dot(project), encoding="utf-8"
+    )
+    path.with_suffix(path.suffix + ".lockorder.dot").write_text(
+        lockorder_dot(project.analysis()), encoding="utf-8"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -68,18 +99,25 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
 
-    findings, n_files = lint_paths(args.paths, rules)
+    contexts, findings, n_files = parse_paths(args.paths)
 
-    if args.write_baseline:
-        payload = baseline_payload(findings)
-        Path(args.write_baseline).write_text(
-            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-        )
+    # One ProjectIndex serves the project-wide rules and the report.
+    project = None
+    if args.graph_report or any(r.project_wide for r in rules):
+        from repro.lint.project import ProjectIndex
+
+        project = ProjectIndex(contexts)
+
+    findings = findings + _run_rules(contexts, rules, project=project)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    if args.graph_report and project is not None:
+        _write_graph_report(args.graph_report, project)
         print(
-            f"wrote {len(payload['entries'])} baseline entries to "
-            f"{args.write_baseline}"
+            f"wrote graph report to {args.graph_report} "
+            "(+ .callgraph.dot, .lockorder.dot)",
+            file=sys.stderr,
         )
-        return 0
 
     entries = []
     if args.baseline:
@@ -88,6 +126,33 @@ def main(argv: list[str] | None = None) -> int:
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             print(f"error: cannot load baseline: {exc}", file=sys.stderr)
             return 2
+
+    if args.write_baseline:
+        existing = entries
+        if not existing and Path(args.write_baseline).exists():
+            # Regenerating in place: keep the reviewed reasons.
+            try:
+                existing = load_baseline(args.write_baseline)
+            except (OSError, ValueError, json.JSONDecodeError):
+                existing = []
+        payload, pruned = baseline_payload(findings, existing)
+        Path(args.write_baseline).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+        for entry in pruned:
+            print(
+                f"warning: pruned stale baseline entry {entry.rule} "
+                f"{entry.path}::{entry.symbol} (matches no finding)",
+                file=sys.stderr,
+            )
+        print(
+            f"wrote {len(payload['entries'])} baseline entries to "
+            f"{args.write_baseline}"
+            + (f" ({len(pruned)} stale pruned)" if pruned else "")
+        )
+        return 0
+
     fresh, accepted, stale = apply_baseline(findings, entries)
 
     if args.format == "json":

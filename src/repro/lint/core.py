@@ -101,8 +101,13 @@ def import_aliases(tree: ast.Module) -> dict[str, str]:
     ``from time import time`` → ``{"time": "time.time"}``.  Used to
     resolve call targets to canonical names regardless of import style.
     """
+    return aliases_from_imports(ast.walk(tree))
+
+
+def aliases_from_imports(nodes: Iterable[ast.AST]) -> dict[str, str]:
+    """:func:`import_aliases` over a pre-collected node sequence."""
     aliases: dict[str, str] = {}
-    for node in ast.walk(tree):
+    for node in nodes:
         if isinstance(node, ast.Import):
             for alias in node.names:
                 aliases[alias.asname or alias.name.split(".")[0]] = (
@@ -133,40 +138,77 @@ def canonical_call_name(
 
 
 class FileContext:
-    """A parsed module plus the lookups rules share."""
+    """A parsed module plus the lookups rules share.
+
+    The context is built **once** per file per lint run and shared by
+    every rule (and by the whole-program passes in
+    :mod:`repro.lint.project` / :mod:`repro.lint.callgraph`): one AST
+    walk populates the symbol map and a node-type index, and rules
+    iterate :meth:`nodes` instead of re-walking the tree themselves.
+    """
 
     def __init__(self, path: str, source: str, tree: ast.Module) -> None:
         self.path = path
         self.source = source
         self.tree = tree
         self._symbols: dict[ast.AST, str] | None = None
+        self._by_type: dict[type, list[ast.AST]] | None = None
         self._aliases: dict[str, str] | None = None
+
+    def _build_index(self) -> None:
+        """One pre-order walk filling the symbol map and type index."""
+        symbols: dict[ast.AST, str] = {}
+        by_type: dict[type, list[ast.AST]] = {}
+
+        def walk(current: ast.AST, stack: tuple[str, ...]) -> None:
+            if isinstance(
+                current,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                stack = stack + (current.name,)
+            symbols[current] = ".".join(stack) or "<module>"
+            by_type.setdefault(type(current), []).append(current)
+            for child in ast.iter_child_nodes(current):
+                walk(child, stack)
+
+        walk(self.tree, ())
+        self._symbols = symbols
+        self._by_type = by_type
 
     @property
     def aliases(self) -> dict[str, str]:
         """Import-alias map, computed once per file."""
         if self._aliases is None:
-            self._aliases = import_aliases(self.tree)
+            self._aliases = aliases_from_imports(
+                self.nodes(ast.Import, ast.ImportFrom)
+            )
         return self._aliases
+
+    def nodes(self, *types: type) -> list[ast.AST]:
+        """Every node of the given exact AST types, in pre-order.
+
+        This is the shared-index replacement for per-rule
+        ``ast.walk(ctx.tree)`` loops: the tree is walked once per file
+        and each rule filters the index instead of re-traversing.
+        """
+        if self._by_type is None:
+            self._build_index()
+        index = self._by_type or {}
+        if len(types) == 1:
+            return list(index.get(types[0], ()))
+        merged: list[ast.AST] = []
+        for node_type in types:
+            merged.extend(index.get(node_type, ()))
+        merged.sort(
+            key=lambda n: (getattr(n, "lineno", 0), getattr(n, "col_offset", 0))
+        )
+        return merged
 
     def symbol_for(self, node: ast.AST) -> str:
         """Dotted name of the class/function enclosing ``node``."""
         if self._symbols is None:
-            symbols: dict[ast.AST, str] = {}
-
-            def walk(current: ast.AST, stack: tuple[str, ...]) -> None:
-                if isinstance(
-                    current,
-                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
-                ):
-                    stack = stack + (current.name,)
-                symbols[current] = ".".join(stack) or "<module>"
-                for child in ast.iter_child_nodes(current):
-                    walk(child, stack)
-
-            walk(self.tree, ())
-            self._symbols = symbols
-        return self._symbols.get(node, "<module>")
+            self._build_index()
+        return (self._symbols or {}).get(node, "<module>")
 
 
 class Rule:
@@ -176,10 +218,19 @@ class Rule:
     overriding :meth:`applies_to`, and yield findings from :meth:`check`.
     Register with the :func:`register` decorator so :func:`all_rules`
     (and therefore the CLI) picks them up.
+
+    Per-file rules implement :meth:`check` and run once per module.
+    Whole-program rules set :attr:`project_wide` and implement
+    :meth:`check_project` instead: they receive the shared
+    :class:`~repro.lint.project.ProjectIndex` (one parse of the whole
+    tree, plus the call graph and dataflow passes built on it) and run
+    once per lint invocation.
     """
 
     rule_id: str = ""
     title: str = ""
+    #: Whole-program rules run once over the project index, not per file.
+    project_wide: bool = False
 
     def applies_to(self, ctx: FileContext) -> bool:
         """Whether this rule runs on ``ctx.path`` (default: every file)."""
@@ -187,6 +238,10 @@ class Rule:
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         """Yield the rule's findings for one parsed module."""
+        raise NotImplementedError
+
+    def check_project(self, project) -> Iterable[Finding]:
+        """Yield whole-program findings (``project_wide`` rules only)."""
         raise NotImplementedError
 
     def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
@@ -227,33 +282,70 @@ def all_rules(only: Sequence[str] | None = None) -> list[Rule]:
     return [_REGISTRY[i]() for i in ids]
 
 
-def lint_source(
-    source: str, path: str, rules: Sequence[Rule] | None = None
-) -> list[Finding]:
-    """Run rules over one source string (the unit tests' entry point)."""
-    if rules is None:
-        rules = all_rules()
+def parse_context(source: str, path: str) -> FileContext | Finding:
+    """Parse one source string into a :class:`FileContext`.
+
+    Returns a :data:`PARSE_ERROR` finding instead of raising when the
+    file does not parse, so one broken file never aborts a lint run.
+    """
     normalized = module_path(path)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
-            Finding(
-                rule=PARSE_ERROR,
-                path=normalized,
-                line=exc.lineno or 0,
-                col=exc.offset or 0,
-                symbol="<module>",
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    ctx = FileContext(normalized, source, tree)
+        return Finding(
+            rule=PARSE_ERROR,
+            path=normalized,
+            line=exc.lineno or 0,
+            col=exc.offset or 0,
+            symbol="<module>",
+            message=f"file does not parse: {exc.msg}",
+        )
+    return FileContext(normalized, source, tree)
+
+
+def _run_rules(
+    contexts: Sequence[FileContext],
+    rules: Sequence[Rule],
+    project=None,
+) -> list[Finding]:
+    """Run per-file and project-wide rules over pre-parsed contexts.
+
+    ``project`` lets a caller that already built the
+    :class:`~repro.lint.project.ProjectIndex` (the ``--graph-report``
+    path) share it instead of indexing the tree twice.
+    """
     findings: list[Finding] = []
-    for rule in rules:
-        if rule.applies_to(ctx):
-            findings.extend(rule.check(ctx))
+    file_rules = [r for r in rules if not r.project_wide]
+    project_rules = [r for r in rules if r.project_wide]
+    for ctx in contexts:
+        for rule in file_rules:
+            if rule.applies_to(ctx):
+                findings.extend(rule.check(ctx))
+    if project_rules:
+        if project is None:
+            from repro.lint.project import ProjectIndex
+
+            project = ProjectIndex(contexts)
+        for rule in project_rules:
+            findings.extend(rule.check_project(project))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
+
+
+def lint_source(
+    source: str, path: str, rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Run rules over one source string (the unit tests' entry point).
+
+    Project-wide rules see a one-file project, which is exactly what
+    fixture snippets want.
+    """
+    if rules is None:
+        rules = all_rules()
+    parsed = parse_context(source, path)
+    if isinstance(parsed, Finding):
+        return [parsed]
+    return _run_rules([parsed], rules)
 
 
 def iter_python_files(paths: Sequence[Path | str]) -> list[Path]:
@@ -272,20 +364,40 @@ def iter_python_files(paths: Sequence[Path | str]) -> list[Path]:
     return sorted(files)
 
 
+def parse_paths(
+    paths: Sequence[Path | str],
+) -> tuple[list[FileContext], list[Finding], int]:
+    """Parse every ``.py`` file under ``paths`` exactly once.
+
+    Returns the parsed contexts, any :data:`PARSE_ERROR` findings, and
+    the number of files seen.  This is the single-parse front end shared
+    by :func:`lint_paths` and the ``--graph-report`` machinery.
+    """
+    contexts: list[FileContext] = []
+    errors: list[Finding] = []
+    files = iter_python_files(paths)
+    for file in files:
+        parsed = parse_context(file.read_text(encoding="utf-8"), str(file))
+        if isinstance(parsed, Finding):
+            errors.append(parsed)
+        else:
+            contexts.append(parsed)
+    return contexts, errors, len(files)
+
+
 def lint_paths(
     paths: Sequence[Path | str], rules: Sequence[Rule] | None = None
 ) -> tuple[list[Finding], int]:
     """Lint every ``.py`` file under ``paths``.
 
-    Returns the sorted findings and the number of files checked.
+    Every file is parsed once and every rule runs over the shared
+    per-file indexes (plus, for project-wide rules, the shared
+    :class:`~repro.lint.project.ProjectIndex`).  Returns the sorted
+    findings and the number of files checked.
     """
     if rules is None:
         rules = all_rules()
-    findings: list[Finding] = []
-    files = iter_python_files(paths)
-    for file in files:
-        findings.extend(
-            lint_source(file.read_text(encoding="utf-8"), str(file), rules)
-        )
+    contexts, findings, n_files = parse_paths(paths)
+    findings = findings + _run_rules(contexts, rules)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings, len(files)
+    return findings, n_files

@@ -106,7 +106,9 @@ class MutationWithoutInvalidation(Rule):
         # their body.
         mutations: dict[str, tuple[ast.AST, str]] = {}
         discharged: set[str] = set()
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes(
+            ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Call
+        ):
             symbol = ctx.symbol_for(node)
             if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
                 if _is_version_bump(node):

@@ -71,9 +71,7 @@ class ScaleDiscipline(Rule):
         return ctx.path.startswith(SCOPE_PREFIXES)
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in ctx.nodes(ast.Call):
             name = _call_name(node)
             if name not in PIECE_NAMES:
                 continue

@@ -76,9 +76,7 @@ class Nondeterminism(Rule):
         return ctx.path.startswith(SCOPE_PREFIXES)
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in ctx.nodes(ast.Call):
             name = canonical_call_name(node.func, ctx.aliases)
             if name is None:
                 continue

@@ -52,9 +52,7 @@ class CacheKeyHygiene(Rule):
     title = "computed expression used as an identity-cache anchor"
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in ctx.nodes(ast.Call):
             func = node.func
             if not (
                 isinstance(func, ast.Attribute)

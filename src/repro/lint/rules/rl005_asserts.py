@@ -23,9 +23,8 @@ class AssertAsGuard(Rule):
     title = "bare assert guards vanish under python -O"
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Assert):
-                yield self.finding(
+        for node in ctx.nodes(ast.Assert):
+            yield self.finding(
                     ctx,
                     node,
                     "assert statement enforces a runtime contract but is "

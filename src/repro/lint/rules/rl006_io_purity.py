@@ -32,11 +32,8 @@ class IOPurity(Rule):
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         allowed = ctx.path in ALLOWED_FILES
-        for node in ast.walk(ctx.tree):
-            if not (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Name)
-            ):
+        for node in ctx.nodes(ast.Call):
+            if not isinstance(node.func, ast.Name):
                 continue
             if node.func.id == "print" and not allowed:
                 yield self.finding(

@@ -182,15 +182,18 @@ def _mutating_call_target(node: ast.Call) -> str | None:
     return None
 
 
-def _submitted_functions(tree: ast.Module) -> tuple[set[str], list[ast.Lambda]]:
-    """Names (and inline lambdas) this module submits to the pool.
+def _submitted_functions(
+    calls: Iterable[ast.AST],
+) -> tuple[set[str], list[ast.Lambda]]:
+    """Names (and inline lambdas) these call nodes submit to the pool.
 
     The function argument is the first positional argument of
     ``parallel_map``/``map_row_chunks`` and ``<pool>.submit`` calls.
+    Callers pass ``ctx.nodes(ast.Call)`` (the shared index).
     """
     names: set[str] = set()
     lambdas: list[ast.Lambda] = []
-    for node in ast.walk(tree):
+    for node in calls:
         if not isinstance(node, ast.Call) or not node.args:
             continue
         func = node.func
@@ -223,10 +226,10 @@ class SharedStateInPoolTask(Rule):
         )
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
-        names, lambdas = _submitted_functions(ctx.tree)
+        names, lambdas = _submitted_functions(ctx.nodes(ast.Call))
         roots: list[ast.AST] = list(lambdas)
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+        for node in ctx.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
+            if (
                 # ``__init__`` is exempt from the whole-module scan:
                 # construction precedes publication, so nothing can race
                 # the stores (the same argument RL008 encodes).

@@ -127,7 +127,9 @@ class ZoneMapMutation(Rule):
         # body.
         mutations: dict[str, tuple[ast.AST, str]] = {}
         discharged: set[str] = set()
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes(
+            ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Call
+        ):
             symbol = ctx.symbol_for(node)
             if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
                 targets = (

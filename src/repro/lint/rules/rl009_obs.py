@@ -101,11 +101,11 @@ class ObservabilityReadInComputeLayer(Rule):
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         aug_targets = {
-            id(node.target)
-            for node in ast.walk(ctx.tree)
-            if isinstance(node, ast.AugAssign)
+            id(node.target) for node in ctx.nodes(ast.AugAssign)
         }
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes(
+            ast.Attribute, ast.If, ast.While, ast.IfExp, ast.Assert
+        ):
             if isinstance(node, ast.Attribute):
                 receiver = _receiver_parts(node.value)
                 is_read = isinstance(node.ctx, ast.Load) or id(node) in aug_targets

@@ -54,10 +54,10 @@ def _module_level_callables(tree: ast.Module) -> set[str]:
 
 
 def _submit_calls(
-    tree: ast.Module, include_pool_submit: bool
+    calls: Iterable[ast.AST], include_pool_submit: bool
 ) -> Iterable[tuple[ast.Call, ast.AST]]:
     """Every process-pool submission call with its function argument."""
-    for node in ast.walk(tree):
+    for node in calls:
         if not isinstance(node, ast.Call) or not node.args:
             continue
         func = node.func
@@ -84,7 +84,9 @@ class NonPicklableProcessTask(Rule):
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         module_names = _module_level_callables(ctx.tree)
         include_pool_submit = ctx.path == PROC_POOL_MODULE
-        for call, submitted in _submit_calls(ctx.tree, include_pool_submit):
+        for call, submitted in _submit_calls(
+            ctx.nodes(ast.Call), include_pool_submit
+        ):
             if isinstance(submitted, ast.Lambda):
                 yield self.finding(
                     ctx,

@@ -1,0 +1,132 @@
+"""RL013 — interprocedural invalidation coverage (RL001 upgraded).
+
+RL001 demands that a function mutating cache-anchored state call an
+invalidation *in the same function body*.  That per-file rule has two
+blind spots, and both have already cost baseline entries:
+
+* **callee-side**: the mutation is fine if the function calls a helper
+  that (transitively) invalidates — RL001 cannot see past one frame;
+* **caller-side**: the small-group sample builders mutate
+  ``_overall_parts``/``_reduced_dims`` and deliberately leave the
+  plan-version bump to their only caller (``preprocess`` → ``_report``),
+  a design RL001 can only express as a baseline exception.
+
+This rule re-checks the same mutations with the call graph.  A mutation
+in function ``f`` is **covered** when either
+
+1. ``f`` transitively reaches an invalidation call
+   (:data:`repro.lint.dataflow.INVALIDATING_CALLS` — the least-fixpoint
+   ``invalidators`` set), or
+2. every call chain that can execute ``f`` passes through an
+   invalidation above it — the greatest-fixpoint ``covered`` set:
+   ``covered(f) = invalidates(f) or (f has callers and every caller is
+   covered)``.  A function with no resolved callers is *not* covered
+   (nothing proves the bump happens), which keeps dead-looking public
+   entry points honest.
+
+Anything not covered either loses the bump on some path today or is one
+refactor away from losing it.  The rule therefore *discharges* RL001's
+existing baseline entries (they are covered caller-side) while catching
+strictly more than RL001 would if a future path skips the bump.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.core import Finding, Rule, register
+from repro.lint.rules.rl001_invalidation import (
+    ALLOWLIST,
+    SCOPE_FILES,
+    SCOPE_PREFIXES,
+    _attr_target,
+    _is_version_bump,
+)
+
+
+@register
+class InterproceduralInvalidationCoverage(Rule):
+    rule_id = "RL013"
+    title = "mutation not covered by any invalidation path"
+    project_wide = True
+
+    def check_project(self, project) -> Iterable[Finding]:
+        analysis = project.analysis()
+        for qualname in sorted(project.functions):
+            info = project.functions[qualname]
+            if isinstance(info.node, ast.Lambda):
+                continue
+            if not (
+                info.path.startswith(SCOPE_PREFIXES)
+                or info.path in SCOPE_FILES
+            ):
+                continue
+            if info.name == "__init__":
+                continue  # construction precedes any caching
+            if f"{info.path}::{info.symbol}" in ALLOWLIST:
+                continue
+
+            mutation = self._first_mutation(info)
+            if mutation is None:
+                continue
+            node, attr = mutation
+            if qualname in analysis.invalidators:
+                continue
+            if qualname in analysis.covered:
+                continue
+            callers = [
+                e for e in analysis.graph.callers(qualname) if e.kind == "call"
+            ]
+            if callers:
+                detail = (
+                    "it does not transitively invalidate, and not every "
+                    "caller chain does either (uncovered caller: "
+                    f"{callers[0].src})"
+                )
+            else:
+                detail = (
+                    "it does not transitively invalidate and has no "
+                    "resolved callers to do it on its behalf"
+                )
+            yield self.finding(
+                info.ctx,
+                node,
+                f"assigns {attr!r} but no invalidation covers this "
+                f"mutation: {detail}; call invalidate*/bump_plan_version/"
+                "_report somewhere on every path that executes this "
+                "function",
+            )
+
+    @staticmethod
+    def _first_mutation(info) -> tuple[ast.AST, str] | None:
+        """First monitored-attribute store directly in this function.
+
+        Nested defs are excluded — they are functions of their own in
+        the project index and get checked under their own qualname.
+        """
+        version_bumped = False
+        first: tuple[ast.AST, str] | None = None
+        stack = list(ast.iter_child_nodes(info.node))
+        while stack:
+            node = stack.pop(0)
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                if _is_version_bump(node):
+                    version_bumped = True
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    attr = _attr_target(target)
+                    if attr is not None and first is None:
+                        first = (node, attr)
+            stack.extend(ast.iter_child_nodes(node))
+        if version_bumped:
+            return None  # direct bump discharges, same as RL001
+        return first

@@ -1,0 +1,190 @@
+"""RL014 — non-picklable values smuggled through process-pool payloads.
+
+RL010 checks the *task callable* of every process-pool submission; this
+rule upgrades it to the rest of the submission with the call graph's
+process-submit edges.  Everything in a payload crosses the pickle
+boundary too, and the failure modes mirror RL010's:
+
+* a **lambda or nested function inside a payload item** fails to pickle
+  at submit time — but only on the ``--executor process`` path, so it
+  hides behind the thread/serial backends until someone flips the flag;
+* a **callable parameter packed into a payload** pickles or not
+  depending on what every caller passes — the function itself cannot
+  guarantee the contract.  ``process_map_row_chunks`` does exactly this
+  by design (it forwards its ``fn`` argument inside each chunk item),
+  which is safe *only because* RL010 pins every caller's ``fn`` to a
+  module-level function — precisely the kind of reviewed, cross-rule
+  dependency the baseline exists to record;
+* a **bound method reference in a payload** drags its object through
+  the task queue, defeating the shared-memory arena.
+
+The rule inspects every submission edge tagged ``process`` (so call
+sites are found by graph reachability, not filename heuristics),
+resolves payload argument expressions one assignment deep (``items =
+[...]; process_map(fn, items)``), and flags lambdas, nested-function
+references, bound-method references, and Callable-annotated parameters
+found inside them.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.core import Finding, Rule, register
+
+#: ``path::symbol`` entries reviewed as safe; reasons are mandatory.
+ALLOWLIST: dict[str, str] = {}
+
+#: Annotation names that mark a parameter as carrying a callable.
+CALLABLE_ANNOTATIONS = ("Callable", "callable")
+
+
+@register
+class PayloadPicklability(Rule):
+    rule_id = "RL014"
+    title = "non-picklable value in process-pool payload"
+    project_wide = True
+
+    def check_project(self, project) -> Iterable[Finding]:
+        analysis = project.analysis()
+        seen: set[tuple[str, int, int, str]] = set()
+        for edge in analysis.graph.submit_edges():
+            if edge.backend != "process":
+                continue
+            src_info = project.functions.get(edge.src)
+            if src_info is None:
+                continue  # module-level submissions: fixtures only
+            if f"{src_info.path}::{src_info.symbol}" in ALLOWLIST:
+                continue
+            call = self._call_at(src_info, edge.line)
+            if call is None:
+                continue
+            for finding in self._check_payloads(project, src_info, call):
+                key = (finding.path, finding.line, finding.col, finding.message)
+                if key not in seen:
+                    seen.add(key)
+                    yield finding
+
+    # ------------------------------------------------------------------
+    def _call_at(self, info, line: int) -> ast.Call | None:
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call) and getattr(node, "lineno", 0) == line:
+                return node
+        return None
+
+    def _check_payloads(
+        self, project, info, call: ast.Call
+    ) -> Iterable[Finding]:
+        callable_params = self._callable_params(info)
+        nested = self._nested_defs(info)
+        assigns = self._local_assigns(info)
+
+        # Payload arguments: everything after the task callable.
+        payloads = list(call.args[1:]) + [kw.value for kw in call.keywords]
+        for payload in payloads:
+            exprs = [payload]
+            if isinstance(payload, ast.Name) and payload.id in assigns:
+                exprs.append(assigns[payload.id])
+            for expr in exprs:
+                yield from self._scan_expr(
+                    project, info, call, expr, callable_params, nested
+                )
+
+    def _scan_expr(
+        self, project, info, call, expr, callable_params, nested
+    ) -> Iterable[Finding]:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Lambda):
+                yield self.finding(
+                    info.ctx,
+                    node,
+                    "packs a lambda into a process-pool payload; it will "
+                    "raise PicklingError at submit time, but only under "
+                    "--executor process — pass a module-level function or "
+                    "a plain descriptor instead",
+                )
+            elif isinstance(node, ast.Name):
+                if node.id in callable_params:
+                    yield self.finding(
+                        info.ctx,
+                        node,
+                        f"packs callable parameter {node.id!r} into a "
+                        "process-pool payload; picklability now depends on "
+                        "what every caller passes — constrain callers to "
+                        "module-level functions (RL010) and record the "
+                        "contract, or ship a descriptor instead",
+                    )
+                elif node.id in nested:
+                    yield self.finding(
+                        info.ctx,
+                        node,
+                        f"packs nested function {node.id!r} into a "
+                        "process-pool payload; closures cannot pickle — "
+                        "hoist it to module scope",
+                    )
+            elif isinstance(node, ast.Attribute) and self._is_bound_method(
+                project, info, node
+            ):
+                yield self.finding(
+                    info.ctx,
+                    node,
+                    f"packs bound method {node.attr!r} into a process-pool "
+                    "payload; the pickled reference drags its object "
+                    "through the task queue — ship arena handles and a "
+                    "module-level function instead",
+                )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _callable_params(info) -> set[str]:
+        node = info.node
+        if isinstance(node, ast.Lambda):
+            return set()
+        names: set[str] = set()
+        for arg in [*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs]:
+            ann = arg.annotation
+            text = None
+            if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+                text = ann.value
+            elif ann is not None:
+                text = ast.unparse(ann)
+            if text is not None and any(
+                marker in text for marker in CALLABLE_ANNOTATIONS
+            ):
+                names.add(arg.arg)
+        return names
+
+    @staticmethod
+    def _nested_defs(info) -> set[str]:
+        if isinstance(info.node, ast.Lambda):
+            return set()
+        return {
+            node.name
+            for node in ast.walk(info.node)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node is not info.node
+        }
+
+    @staticmethod
+    def _local_assigns(info) -> dict[str, ast.AST]:
+        """Last ``name = <expr>`` per local name (one-level resolution)."""
+        if isinstance(info.node, ast.Lambda):
+            return {}
+        assigns: dict[str, ast.AST] = {}
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        assigns[target.id] = node.value
+        return assigns
+
+    @staticmethod
+    def _is_bound_method(project, info, node: ast.Attribute) -> bool:
+        """``self.method`` / ``obj.method`` referencing a known method."""
+        if not isinstance(node.value, ast.Name):
+            return False
+        receiver = node.value.id
+        if receiver == "self" and info.class_qualname is not None:
+            return project.class_method(info.class_qualname, node.attr) is not None
+        return False
