@@ -181,6 +181,33 @@ def build_parser() -> argparse.ArgumentParser:
             "forced serial loop; answers are identical for any choice"
         ),
     )
+    parser.add_argument(
+        "--chunk-selection",
+        action="store_true",
+        help=(
+            "PS3-style weighted chunk selection on approximate scans: "
+            "draw a budgeted chunk subset scored from the zone maps and "
+            "reweight with Horvitz-Thompson inverse-inclusion weights; "
+            "changes approximate answers (trades rows touched for "
+            "variance), never exact ones; deterministic for a fixed "
+            "seed+budget at any worker count"
+        ),
+    )
+    parser.add_argument(
+        "--selection-budget",
+        type=int,
+        default=65536,
+        help=(
+            "rows-touched budget per piece for --chunk-selection; the "
+            "draw only engages when the eligible rows exceed it"
+        ),
+    )
+    parser.add_argument(
+        "--selection-seed",
+        type=int,
+        default=0,
+        help="seed for the --chunk-selection weighted draw",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list reproducible figures/tables")
     figure = subparsers.add_parser(
@@ -347,6 +374,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             chunk_rows=args.chunk_rows,
             data_skipping=not args.no_skipping,
             executor=args.executor,
+            chunk_selection=args.chunk_selection,
+            selection_budget=args.selection_budget,
+            selection_seed=args.selection_seed,
         )
     )
     if args.command == "sql":
@@ -502,6 +532,17 @@ def _run_stats(args) -> int:
             for kind, c in sorted(kinds.items())
         ]
         print(format_table(["cache kind", "hits", "misses", "rate"], rows))
+    # Chunk-selection summary: always printed (zeros included) so a run
+    # can confirm the sketch/selection machinery did or did not engage.
+    counter = get_registry().counter
+    print(
+        "selection: "
+        f"sketch_hits={counter('selection.sketch_hits'):g} "
+        f"sketch_misses={counter('selection.sketch_misses'):g} "
+        f"plans={counter('selection.plans'):g} "
+        f"chunks_selected={counter('selection.chunks_selected'):g}"
+        f"/{counter('selection.chunks_eligible'):g} eligible"
+    )
     if args.json is not None:
         _write_json(
             {"registry": registry_snapshot, "cache": cache_snapshot},

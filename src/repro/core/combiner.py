@@ -23,7 +23,7 @@ statistics).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 from repro.core.answer import ApproxAnswer, GroupEstimate, GroupKey
@@ -39,6 +39,7 @@ from repro.engine.parallel import (
     parallel_map,
     resolve_options,
 )
+from repro.engine.selection import ChunkSelectionPlan, plan_chunk_selection
 from repro.engine.zonemap import (
     PieceSkipStats,
     SkipReport,
@@ -149,7 +150,14 @@ def _plan_components(
 
 
 def _execute_one_piece(
-    item: tuple[SamplePiece, Query, PieceSkipStats, ExecutionOptions, Span],
+    item: tuple[
+        SamplePiece,
+        Query,
+        PieceSkipStats,
+        ExecutionOptions,
+        Span,
+        "ChunkSelectionPlan | None",
+    ],
 ):
     """Aggregate one rewritten piece (the unit of work scattered to the
     worker pool).
@@ -158,9 +166,11 @@ def _execute_one_piece(
     cache (both thread-safe) and mutates no shared engine state — the
     property lint rule RL007 enforces for everything submitted to the
     pool.  The skip-stats and span objects it fills in are freshly
-    allocated per piece and owned by this task alone.
+    allocated per piece and owned by this task alone.  The selection
+    plan (if any) was computed serially in the parent before the
+    scatter, so the drawn chunk subset never depends on pool timing.
     """
-    piece, exec_query, stats, options, piece_span = item
+    piece, exec_query, stats, options, piece_span, plan = item
     with piece_span:
         return aggregate_table(
             piece.table,
@@ -172,6 +182,7 @@ def _execute_one_piece(
             options=options,
             skip_stats=stats,
             span=piece_span,
+            selection_plan=plan,
         )
 
 
@@ -193,6 +204,10 @@ class _PiecePayload:
     chunk_rows: int
     data_skipping: bool
     description: str
+    #: Parent-computed budgeted chunk-selection plan (picklable: plain
+    #: arrays and ints).  Shipped rather than recomputed because the
+    #: worker's sketch store is empty — its scores would differ.
+    selection_plan: "ChunkSelectionPlan | None"
 
 
 def _execute_piece_remote(payload: _PiecePayload):
@@ -237,6 +252,7 @@ def _execute_piece_remote(payload: _PiecePayload):
         variance_weights=variance_weights,
         options=options,
         skip_stats=stats,
+        selection_plan=payload.selection_plan,
     )
     return result, stats, time.perf_counter() - started
 
@@ -266,7 +282,7 @@ def _scatter_pieces_to_processes(
 
     arena = procpool.get_arena()
     payloads = []
-    for _idx, (piece, exec_query, stats, _options, _span) in submitted:
+    for _idx, (piece, exec_query, stats, _options, _span, plan) in submitted:
         payloads.append(
             _PiecePayload(
                 table=arena.publish_table(
@@ -288,13 +304,14 @@ def _scatter_pieces_to_processes(
                 chunk_rows=options.chunk_rows,
                 data_skipping=options.data_skipping,
                 description=stats.description,
+                selection_plan=plan,
             )
         )
     gathered = procpool.process_map(
         _execute_piece_remote, payloads, options, span=span
     )
     results = []
-    for (_idx, (_piece, _query, stats, _options, piece_span)), (
+    for (_idx, (_piece, _query, stats, _options, piece_span, _plan)), (
         result,
         remote_stats,
         seconds,
@@ -306,6 +323,12 @@ def _scatter_pieces_to_processes(
             "chunks_scanned",
             "rows_touched",
             "mask_cached",
+            "sketch_hit",
+            "selection_applied",
+            "chunks_eligible",
+            "chunks_selected",
+            "ht_weight_min",
+            "ht_weight_max",
         ):
             setattr(stats, name, getattr(remote_stats, name))
         piece_span.seconds = seconds
@@ -382,8 +405,16 @@ def execute_pieces(
     # as ``rows_touched`` in the skip report instead.
     skip_report = SkipReport(enabled=options.data_skipping)
     span.annotate(pieces=len(exec_pieces))
+    # Budgeted chunk-selection plans are drawn here, serially and in
+    # piece-index order, for every backend: a plan drawn inside a pool
+    # task would see whatever sketch history concurrent siblings had
+    # already recorded, making the chunk draw depend on scheduling.  The
+    # pieces then run with ``chunk_selection`` off so no task re-plans.
+    piece_options = options
+    if options.chunk_selection:
+        piece_options = replace(options, chunk_selection=False)
     piece_results: list[GroupedResult | None] = [None] * len(exec_pieces)
-    submitted: list[tuple[int, tuple[SamplePiece, Query, PieceSkipStats, ExecutionOptions, Span]]] = []
+    submitted: list[tuple[int, tuple[SamplePiece, Query, PieceSkipStats, ExecutionOptions, Span, ChunkSelectionPlan | None]]] = []
     for idx, (piece, exec_query) in enumerate(exec_pieces):
         description = piece.description or piece.table.name
         stats = PieceSkipStats(
@@ -407,7 +438,12 @@ def execute_pieces(
                 rows={},
             )
             continue
-        submitted.append((idx, (piece, exec_query, stats, options, piece_span)))
+        plan = None
+        if options.chunk_selection and not piece.zero_variance:
+            plan = plan_chunk_selection(piece.table, exec_query.where, options)
+        submitted.append(
+            (idx, (piece, exec_query, stats, piece_options, piece_span, plan))
+        )
     use_processes = options.uses_processes and len(submitted) > 1
     if use_processes:
         from repro.engine import procpool

@@ -21,6 +21,7 @@ from repro.engine.expressions import (
     Equals,
     InSet,
     Not,
+    Or,
     Predicate,
     Query,
     conjoin,
@@ -68,6 +69,7 @@ __all__ = [
     "GroupedResult",
     "InSet",
     "Not",
+    "Or",
     "Predicate",
     "Query",
     "ReservoirSampler",

@@ -69,7 +69,10 @@ def add_invalidation_listener(listener: Callable[[Any], None]) -> None:
 class CacheMetrics:
     """Hit/miss counters per cache kind (``group_ids``, ``join_positions``,
     ``predicate_mask``, ``column_codes``, ``joined_column``, ``zone_map``,
-    ``zone_map_bitmask``, ``sql_parse``, ``plan`` ...).
+    ``zone_map_bitmask``, ``sql_parse``, ``plan``,
+    ``provenance_sketch`` ...).  The last is recorded by the sketch store
+    (:mod:`repro.engine.selection`), which shares this metrics surface
+    even though its entries live outside :class:`ExecutionCache`.
 
     Counter updates take a private lock: dict read-modify-write is not
     atomic under free-running threads, and the thread-safety contract of

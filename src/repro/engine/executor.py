@@ -29,12 +29,15 @@ from repro.engine.database import Database, gather_dimension_column
 from repro.engine.expressions import AggFunc, AggregateSpec, Query
 from repro.engine.parallel import (
     ExecutionOptions,
+    chunk_ranges,
     parallel_map,
     resolve_options,
 )
 from repro.engine.table import Table
 from repro.engine import zonemap
+from repro.engine import selection as selection_lib
 from repro.errors import QueryError
+from repro.obs.registry import get_registry
 from repro.obs.trace import NULL_SPAN, Span
 
 GroupKey = tuple[Any, ...]
@@ -256,6 +259,13 @@ def _predicate_mask(
     never be served for replaced data.  Predicates with unhashable
     literals simply skip the cache.  ``stats`` (when given) records the
     per-chunk skipping outcome; a cache hit reads zero rows.
+
+    On a cache miss with data skipping enabled, the provenance-sketch
+    store (:mod:`repro.engine.selection`) is consulted first: a sketch
+    recorded for a dominating parameterisation of the same query template
+    proves every unsketched chunk empty, so only the sketched chunks are
+    scanned — skipping even the verdict evaluation.  Freshly evaluated
+    masks record their realised chunk set back into the store.
     """
     options = resolve_options(options)
 
@@ -277,16 +287,125 @@ def _predicate_mask(
         return _evaluate()
     anchors = [table.column(name) for name in names]
     cache = get_cache()
+    template = (
+        selection_lib.predicate_template(predicate)
+        if options.data_skipping
+        else None
+    )
     try:
         mask = cache.get("predicate_mask", anchors, extra=predicate)
         if mask is MISS:
-            mask = _evaluate()
+            mask = None
+            if template is not None:
+                mask = _sketch_mask(
+                    table, predicate, template, anchors, options, stats
+                )
+            if mask is None:
+                mask = _evaluate()
+            if template is not None:
+                selection_lib.get_sketch_store().record(
+                    template[0],
+                    anchors,
+                    template[1],
+                    options.chunk_rows,
+                    selection_lib.realized_chunks(
+                        mask, table.n_rows, options.chunk_rows
+                    ),
+                )
             cache.put("predicate_mask", anchors, mask, extra=predicate)
         elif stats is not None:
             stats.rows_total = table.n_rows
             stats.mask_cached = True
     except TypeError:
         mask = _evaluate()
+    return mask
+
+
+def _sketch_mask(
+    table: Table,
+    predicate,
+    template,
+    anchors,
+    options: ExecutionOptions,
+    stats: "zonemap.PieceSkipStats | None",
+) -> np.ndarray | None:
+    """Assemble a predicate mask from a dominating provenance sketch.
+
+    Returns ``None`` when no recorded sketch dominates this predicate's
+    parameters.  On a hit the result is exact: dominance proves every
+    chunk outside the sketch holds no matching row, and the sketched
+    chunks are re-evaluated against the *current* predicate.
+    """
+    sketched = selection_lib.get_sketch_store().lookup(
+        template[0], anchors, template[1], options.chunk_rows
+    )
+    if sketched is None:
+        return None
+    ranges = chunk_ranges(table.n_rows, options.chunk_rows)
+    mask = np.zeros(table.n_rows, dtype=bool)
+    touched = 0
+    for chunk in sketched:
+        start, stop = ranges[int(chunk)]
+        mask[start:stop] = predicate.evaluate_range(table, start, stop)
+        touched += stop - start
+    if stats is not None:
+        stats.rows_total = table.n_rows
+        stats.sketch_hit = True
+        stats.observe_chunks(
+            n_chunks=len(ranges),
+            skipped=len(ranges) - len(sketched),
+            accepted=0,
+            scanned=len(sketched),
+            rows_touched=touched,
+        )
+    return mask
+
+
+def _selection_keep_mask(
+    table: Table,
+    predicate,
+    plan: "selection_lib.ChunkSelectionPlan",
+    options: ExecutionOptions,
+    stats: "zonemap.PieceSkipStats | None",
+) -> np.ndarray:
+    """Row-keep mask restricted to a budgeted selection plan's chunks.
+
+    The mask is a *partial* view of the predicate — rows in unselected
+    chunks stay False even where they match — so it is never cached and
+    never recorded as a provenance sketch; the Horvitz–Thompson weights
+    from the plan are what keep downstream estimates unbiased.
+    """
+    ranges = chunk_ranges(table.n_rows, options.chunk_rows)
+    mask = np.zeros(table.n_rows, dtype=bool)
+    accepted = scanned = touched = 0
+    for chunk, verdict in zip(plan.chunk_indices, plan.verdicts):
+        start, stop = ranges[int(chunk)]
+        if predicate is None or verdict == zonemap.VERDICT_ALL_TRUE:
+            mask[start:stop] = True
+            accepted += 1
+        else:
+            mask[start:stop] = predicate.evaluate_range(table, start, stop)
+            scanned += 1
+            touched += stop - start
+    lo, hi = plan.ht_weight_range
+    if stats is not None:
+        stats.rows_total = table.n_rows
+        stats.selection_applied = True
+        stats.chunks_eligible = plan.n_eligible
+        stats.chunks_selected = len(plan.chunk_indices)
+        stats.ht_weight_min = lo
+        stats.ht_weight_max = hi
+        stats.observe_chunks(
+            n_chunks=plan.n_chunks,
+            skipped=plan.n_chunks - len(plan.chunk_indices),
+            accepted=accepted,
+            scanned=scanned,
+            rows_touched=touched,
+        )
+    registry = get_registry()
+    registry.incr("selection.rows_touched", touched)
+    if lo > 0:
+        registry.observe("selection.ht_weight_spread", hi / lo)
     return mask
 
 
@@ -300,6 +419,7 @@ def aggregate_table(
     options: ExecutionOptions | None = None,
     skip_stats: "zonemap.PieceSkipStats | None" = None,
     span: Span = NULL_SPAN,
+    selection_plan: "selection_lib.ChunkSelectionPlan | None" = None,
 ) -> GroupedResult:
     """Aggregate a flat table that already matches the query's FROM clause.
 
@@ -334,7 +454,17 @@ def aggregate_table(
     span:
         Write-only profiling span (:data:`~repro.obs.trace.NULL_SPAN`
         when profiling is off); gains row/group counts for this scan.
+    selection_plan:
+        Optional pre-computed budgeted chunk-selection plan
+        (:class:`~repro.engine.selection.ChunkSelectionPlan`).  When
+        ``options.chunk_selection`` is on and variance stats are being
+        collected (i.e. this is an approximate scan), a plan restricts
+        the scan to a weighted chunk subset and folds the
+        Horvitz–Thompson inverse-inclusion weights into ``weights`` and
+        ``variance_weights`` so the estimates stay unbiased.  ``None``
+        computes the plan here; exact scans never use one.
     """
+    options = resolve_options(options)
     if weights is not None and len(weights) != table.n_rows:
         raise QueryError(
             f"weights length {len(weights)} != table rows {table.n_rows}"
@@ -348,12 +478,33 @@ def aggregate_table(
     # group ids and of each aggregated value array — never by materialising
     # a filtered copy of every column (the seed's ``table.take``).
     selection: np.ndarray | None = None
+    plan = selection_plan
+    if (
+        plan is None
+        and options.chunk_selection
+        and collect_variance_stats
+    ):
+        plan = selection_lib.plan_chunk_selection(table, query.where, options)
     if skip_stats is not None:
         skip_stats.rows_total = table.n_rows
-        if query.where is None:
+        if query.where is None and plan is None:
             # No WHERE: every row is aggregated, nothing to skip.
             skip_stats.observe_full_scan()
-    if query.where is not None:
+    if plan is not None:
+        keep = _selection_keep_mask(
+            table, query.where, plan, options, skip_stats
+        )
+        ht = selection_lib.ht_row_weights(
+            plan, table.n_rows, options.chunk_rows
+        )
+        weights = ht if weights is None else weights * ht
+        if variance_weights is not None:
+            variance_weights = variance_weights * ht * ht
+        selection = np.flatnonzero(keep)
+        weights = weights[selection]
+        if variance_weights is not None:
+            variance_weights = variance_weights[selection]
+    elif query.where is not None:
         keep = _predicate_mask(table, query.where, options, stats=skip_stats)
         selection = np.flatnonzero(keep)
         if weights is not None:

@@ -287,6 +287,87 @@ class And(Predicate):
 
 
 @dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of predicates.
+
+    The symmetric twin of :class:`And`: where AND short-circuits once the
+    running mask is all-false, OR short-circuits once it is all-*true* —
+    no further arm can clear a bit.  Arms are therefore ordered
+    most-saturating-first when a table is available: the zone-map chunk
+    verdicts (see :func:`repro.engine.zonemap.chunk_verdicts`) estimate
+    how much of the mask each arm fills (proven ALL_TRUE chunks count
+    double an undecided chunk), and OR of booleans is commutative, so
+    the mask is identical in any order while broad arms give later,
+    narrower arms the chance to never evaluate at all.
+    """
+
+    operands: tuple[Predicate, ...]
+
+    def __init__(self, operands: Sequence[Predicate]) -> None:
+        if not operands:
+            raise QueryError("OR requires at least one operand")
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def ordered_operands(
+        self, table: Table | None = None, options=None
+    ) -> tuple[Predicate, ...]:
+        """Arms ordered to minimise mask evaluations (stable on ties).
+
+        With a table, rank by the zone-map saturation estimate
+        ``2·(ALL_TRUE chunks) + (UNKNOWN chunks)`` descending — the arm
+        proven to fill the most chunks runs first, so the all-true
+        short-circuit can drop the rest; ties break cheapest-first.
+        Without a table (no summaries to consult) only the cost rank
+        applies, mirroring :meth:`And.ordered_operands`.
+        """
+        if table is None:
+            return tuple(
+                sorted(self.operands, key=lambda p: p.evaluation_cost())
+            )
+        from repro.engine import zonemap
+
+        def rank(operand: Predicate) -> tuple[int, int]:
+            verdicts = zonemap.chunk_verdicts(table, operand, options)
+            n_true = int((verdicts == zonemap.VERDICT_ALL_TRUE).sum())
+            n_unknown = int((verdicts == zonemap.VERDICT_UNKNOWN).sum())
+            return (-(2 * n_true + n_unknown), operand.evaluation_cost())
+
+        return tuple(sorted(self.operands, key=rank))
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        # Short-circuit: once the running mask is all-true no further arm
+        # can clear a bit, so later arms are not evaluated at all.
+        ordered = self.ordered_operands(table)
+        mask = ordered[0].evaluate(table)
+        for operand in ordered[1:]:
+            if mask.all():
+                break
+            mask = mask | operand.evaluate(table)
+        return mask
+
+    def evaluate_range(self, table: Table, start: int, stop: int) -> np.ndarray:
+        ordered = self.ordered_operands(table)
+        mask = ordered[0].evaluate_range(table, start, stop)
+        for operand in ordered[1:]:
+            if mask.all():
+                break
+            mask = mask | operand.evaluate_range(table, start, stop)
+        return mask
+
+    def evaluation_cost(self) -> int:
+        return max(op.evaluation_cost() for op in self.operands)
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for operand in self.operands:
+            out |= operand.columns()
+        return out
+
+    def cache_safe(self) -> bool:
+        return all(operand.cache_safe() for operand in self.operands)
+
+
+@dataclass(frozen=True)
 class Not(Predicate):
     """Negation of a predicate."""
 

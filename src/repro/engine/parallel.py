@@ -93,12 +93,32 @@ class ExecutionOptions:
         in-thread loop regardless of ``max_workers``).  Answers are
         byte-identical across backends — the backend is a pure
         throughput knob, exactly like ``max_workers``.
+    chunk_selection:
+        Opt-in PS3-style budgeted chunk selection (see
+        :mod:`repro.engine.selection`): approximate sample pieces draw a
+        weighted without-replacement subset of their surviving chunks
+        under ``selection_budget`` and Horvitz–Thompson-reweight the
+        aggregates so estimates stay unbiased.  Unlike ``data_skipping``
+        this changes (approximate) answers — it trades rows touched for
+        variance — so it is off by default.  Exact execution paths
+        ignore it.
+    selection_budget:
+        Approximate row budget per table scan when ``chunk_selection``
+        is on.  Selection only engages when the budget is actually
+        binding (eligible rows exceed it); otherwise the full scan runs
+        and answers are identical to ``chunk_selection=False``.
+    selection_seed:
+        Seed for the selection draw.  Fixed seed + fixed budget →
+        byte-identical answers at any ``max_workers``/``executor``.
     """
 
     max_workers: int = 1
     chunk_rows: int = 65536
     data_skipping: bool = True
     executor: str = "thread"
+    chunk_selection: bool = False
+    selection_budget: int = 65536
+    selection_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_workers < 0:
@@ -113,6 +133,14 @@ class ExecutionOptions:
             raise QueryError(
                 f"executor must be one of {EXECUTOR_BACKENDS}, "
                 f"got {self.executor!r}"
+            )
+        if self.selection_budget < 1:
+            raise QueryError(
+                f"selection_budget must be >= 1, got {self.selection_budget}"
+            )
+        if self.selection_seed < 0:
+            raise QueryError(
+                f"selection_seed must be >= 0, got {self.selection_seed}"
             )
 
     @property

@@ -497,6 +497,7 @@ def _init_worker() -> None:
     _WORKER_TABLES.clear()
     from repro.engine import cache as cache_module
     from repro.engine import parallel as parallel_module
+    from repro.engine import selection as selection_module
     from repro.obs import registry as registry_module
 
     cache_module._GLOBAL_CACHE = cache_module.ExecutionCache()
@@ -506,6 +507,7 @@ def _init_worker() -> None:
     parallel_module._POOL_WORKERS = 0
     parallel_module._POOL_LOCK = threading.Lock()
     registry_module._GLOBAL_REGISTRY = registry_module.MetricsRegistry()
+    selection_module.reset_sketch_store()
 
 
 def get_process_pool(workers: int) -> ProcessPoolExecutor:

@@ -77,6 +77,7 @@ from repro.engine.expressions import (
     Equals,
     InSet,
     Not,
+    Or,
     Predicate,
 )
 from repro.engine.parallel import (
@@ -88,8 +89,9 @@ from repro.engine.parallel import (
 from repro.engine.table import Table
 from repro.obs.registry import get_registry
 
-#: Chunk verdicts: conjunction is ``min`` (ALL_FALSE dominates), negation
-#: is arithmetic ``-`` (UNKNOWN is a fixed point).
+#: Chunk verdicts: conjunction is ``min`` (ALL_FALSE dominates), disjunction
+#: is ``max`` (ALL_TRUE dominates), negation is arithmetic ``-`` (UNKNOWN is
+#: a fixed point).
 VERDICT_ALL_FALSE = -1
 VERDICT_UNKNOWN = 0
 VERDICT_ALL_TRUE = 1
@@ -428,6 +430,15 @@ def _verdicts(
             if not (out > VERDICT_ALL_FALSE).any():
                 break  # every chunk already refuted
         return out
+    if isinstance(pred, Or):
+        out = np.full(n_chunks, VERDICT_ALL_FALSE, dtype=np.int8)
+        for operand in pred.operands:
+            np.maximum(
+                out, _verdicts(table, operand, options, n_chunks), out=out
+            )
+            if not (out < VERDICT_ALL_TRUE).any():
+                break  # every chunk already proven
+        return out
     if isinstance(pred, Not):
         return -_verdicts(table, pred.operand, options, n_chunks)
     if isinstance(pred, Equals):
@@ -485,6 +496,17 @@ class PieceSkipStats:
     rows_touched: int = 0
     pruned: bool = False
     mask_cached: bool = False
+    #: WHERE mask assembled from a dominating provenance sketch — only
+    #: the sketched chunks were evaluated (see repro.engine.selection).
+    sketch_hit: bool = False
+    #: PS3-style budgeted chunk selection ran on this piece.
+    selection_applied: bool = False
+    chunks_eligible: int = 0
+    chunks_selected: int = 0
+    #: Horvitz–Thompson row-weight spread of the selected chunks (both 0
+    #: when selection did not apply).
+    ht_weight_min: float = 0.0
+    ht_weight_max: float = 0.0
 
     def observe_chunks(
         self,
@@ -535,6 +557,16 @@ class SkipReport:
     def pieces_pruned(self) -> int:
         return sum(1 for p in self.pieces if p.pruned)
 
+    @property
+    def sketch_hits(self) -> int:
+        """Pieces whose WHERE mask came from a provenance sketch."""
+        return sum(1 for p in self.pieces if p.sketch_hit)
+
+    @property
+    def pieces_selected(self) -> int:
+        """Pieces that ran under budgeted chunk selection."""
+        return sum(1 for p in self.pieces if p.selection_applied)
+
     def to_text(self) -> str:
         """Human-readable per-piece rendering (the CLI ``--explain`` body)."""
         state = "on" if self.enabled else "off"
@@ -553,6 +585,22 @@ class SkipReport:
                 lines.append(
                     f"  - {piece.description}: WHERE mask cached "
                     f"(0 rows touched)"
+                )
+                continue
+            if piece.selection_applied:
+                lines.append(
+                    f"  - {piece.description}: chunk selection drew "
+                    f"{piece.chunks_selected} of {piece.chunks_eligible} "
+                    f"eligible chunks (HT weights "
+                    f"{piece.ht_weight_min:.3g}–{piece.ht_weight_max:.3g}), "
+                    f"{piece.rows_touched} rows touched"
+                )
+                continue
+            if piece.sketch_hit:
+                lines.append(
+                    f"  - {piece.description}: provenance sketch hit — "
+                    f"{piece.chunks_scanned} of {piece.n_chunks} chunks "
+                    f"scanned, {piece.rows_touched} rows touched"
                 )
                 continue
             if piece.n_chunks == 0:

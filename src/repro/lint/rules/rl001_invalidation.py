@@ -26,7 +26,11 @@ from repro.lint.core import FileContext, Finding, Rule, register
 SCOPE_PREFIXES = ("repro/engine/", "repro/middleware/")
 SCOPE_FILES = ("repro/core/smallgroup.py",)
 
-#: Attributes holding state the execution cache derives artifacts from.
+#: Attributes holding state the execution cache derives artifacts from,
+#: plus the provenance-sketch store's identity-anchored entry tables
+#: (``repro.engine.selection.SketchStore``): a sketch slot written
+#: without an invalidation path would serve stale chunk sets after
+#: ``append_rows``/``insert_rows``/``drop_table``.
 MUTATED_ATTRS = frozenset(
     {
         "tables",
@@ -36,11 +40,15 @@ MUTATED_ATTRS = frozenset(
         "_overall_parts",
         "_reduced_dims",
         "_metas",
+        "_slots",
+        "_anchor_slots",
     }
 )
 
 #: Method names whose call counts as discharging the contract.
-INVALIDATING_CALLS = frozenset({"bump_plan_version", "_report"})
+#: ``_drop_slot`` is the sketch store's internal invalidation primitive —
+#: every ``invalidate_object``/anchor-death path funnels through it.
+INVALIDATING_CALLS = frozenset({"bump_plan_version", "_report", "_drop_slot"})
 
 #: ``path::symbol`` entries reviewed as safe without an invalidation.
 #: Every entry must say *why* the mutation cannot leave stale cache
@@ -51,6 +59,16 @@ ALLOWLIST: dict[str, str] = {
     # cache entries: keys are object identities, not names.
     "repro/engine/database.py::Database.add_table": (
         "registers a new object; identity-keyed cache has no entries for it"
+    ),
+    # Recording a sketch *creates* a cache entry; staleness is covered by
+    # three invalidation paths wired elsewhere: weakref death callbacks
+    # on every anchor drop the slot, _live_slot re-validates identities
+    # on every read, and the module-level add_invalidation_listener
+    # fan-out mirrors every explicit ExecutionCache invalidation.
+    "repro/engine/selection.py::SketchStore.record": (
+        "writes identity-anchored entries; anchor weakrefs + lookup-time "
+        "validation + the cache invalidation listener drop them on any "
+        "mutation"
     ),
 }
 

@@ -186,18 +186,23 @@ class AQPSession:
     def close(self) -> None:
         """Release session-scoped derived state.
 
-        Clears the parse/plan memos and releases every shared-memory
-        segment of the process backend's column arena.  The arena is
+        Clears the parse/plan memos, drops every recorded provenance
+        sketch, and releases every shared-memory segment of the process
+        backend's column arena.  The sketch store and arena are
         process-wide (like the execution cache), so closing one session
-        releases segments other live sessions may be about to use — that
-        is safe, not wrong: a released segment is simply republished on
-        the next process scatter.  The worker pools stay up (they are
+        drops state other live sessions may be about to use — that is
+        safe, not wrong: a released segment is simply republished on the
+        next process scatter, and a dropped sketch is re-recorded on the
+        next evaluation.  The worker pools stay up (they are
         process-wide and shut down atexit, or explicitly via
         :func:`repro.engine.parallel.shutdown_default_pools`).
         """
         with self._lock:
             self._parse_memo.clear()
             self._plan_memo.clear()
+        from repro.engine.selection import get_sketch_store
+
+        get_sketch_store().clear()
         import sys
 
         procpool = sys.modules.get("repro.engine.procpool")

@@ -18,6 +18,7 @@ from repro.engine.expressions import (
     Equals,
     InSet,
     Not,
+    Or,
     Predicate,
     Query,
 )
@@ -41,6 +42,10 @@ def format_predicate(predicate: Predicate) -> str:
     """Render a predicate as SQL."""
     if isinstance(predicate, And):
         return " AND ".join(
+            _format_operand(operand) for operand in predicate.operands
+        )
+    if isinstance(predicate, Or):
+        return " OR ".join(
             _format_operand(operand) for operand in predicate.operands
         )
     if isinstance(predicate, Not):
@@ -67,7 +72,9 @@ def format_predicate(predicate: Predicate) -> str:
 
 def _format_operand(predicate: Predicate) -> str:
     text = format_predicate(predicate)
-    if isinstance(predicate, And):
+    # Parenthesize compound operands so precedence survives the round trip
+    # (OR binds looser than AND in the parser).
+    if isinstance(predicate, (And, Or)):
         return f"({text})"
     return text
 

@@ -15,7 +15,8 @@ Grammar (keywords case-insensitive)::
                   | aggregate ('*' number)? (AS ident)?
     aggregate    := COUNT '(' '*' ')'
                   | (SUM|AVG|MIN|MAX) '(' ident ')'
-    predicate    := conjunct (AND conjunct)*
+    predicate    := disjunct (OR disjunct)*
+    disjunct     := conjunct (AND conjunct)*
     conjunct     := NOT conjunct
                   | '(' predicate ')'
                   | ident IN '(' literal (',' literal)* ')'
@@ -48,6 +49,7 @@ from repro.engine.expressions import (
     Equals,
     InSet,
     Not,
+    Or,
     Predicate,
     Query,
     conjoin,
@@ -288,7 +290,17 @@ class _Parser:
         )
 
     def predicate(self) -> Predicate:
-        """Parse a conjunction of predicate atoms."""
+        """Parse ``disjunct (OR disjunct)*`` — OR binds looser than AND."""
+        operands = [self._disjunct()]
+        while self._peek().is_keyword("OR"):
+            self._advance()
+            operands.append(self._disjunct())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(operands)
+
+    def _disjunct(self) -> Predicate:
+        """Parse a conjunction of predicate atoms (one OR arm)."""
         operands = [self._conjunct()]
         while self._peek().is_keyword("AND"):
             self._advance()

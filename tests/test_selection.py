@@ -1,0 +1,627 @@
+"""Provenance-sketch caching + PS3-style budgeted chunk selection.
+
+The contracts under test (see :mod:`repro.engine.selection`):
+
+* templates/dominance — a sketch may only serve a query whose matching
+  rows are provably covered by the recorded one;
+* the executor's sketch fast path is *exact-equivalent*: answers are
+  byte-identical to the non-sketch path at any backend/worker count;
+* invalidation — ``append_rows`` / ``insert_rows`` / ``drop_table``
+  must never leave a stale sketch serving wrong chunk sets;
+* budgeted selection is deterministic (fixed seed + budget → identical
+  answers everywhere) and Horvitz–Thompson reweighting keeps estimates
+  unbiased (exactly so for counts under uniform probabilities).
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.core.smallgroup import SmallGroupConfig, SmallGroupSampling
+from repro.datagen.synthetic import (
+    CategoricalSpec,
+    MeasureSpec,
+    generate_flat_table,
+)
+from repro.engine import selection as sel
+from repro.engine.bitmask import Bitmask
+from repro.engine.cache import get_cache
+from repro.engine.column import Column
+from repro.engine.database import Database
+from repro.engine.executor import aggregate_table, execute
+from repro.engine.expressions import (
+    And,
+    Between,
+    BitmaskDisjoint,
+    Compare,
+    CompareOp,
+    Equals,
+    InSet,
+    Not,
+    Or,
+)
+from repro.engine.parallel import (
+    ExecutionOptions,
+    set_default_options,
+    shutdown_default_pools,
+)
+from repro.engine.table import Table
+from repro.engine.zonemap import PieceSkipStats
+from repro.errors import QueryError
+from repro.obs.registry import get_registry
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    get_cache().clear()
+    sel.reset_sketch_store()
+    yield
+    get_cache().clear()
+    sel.reset_sketch_store()
+
+
+def clustered_db(n: int = 400, chunk: int = 50) -> Database:
+    """Sorted ``x`` so chunks are disjoint ranges (sketches are crisp)."""
+    table = Table(
+        "t",
+        {
+            "x": Column.ints(np.arange(n)),
+            "grp": Column.strings(
+                ["abcdefgh"[(i // chunk) % 8] for i in range(n)]
+            ),
+        },
+    )
+    return Database([table])
+
+
+WIDE_SQL = "SELECT COUNT(*) AS cnt FROM t WHERE x BETWEEN 100 AND 299"
+NARROW_SQL = "SELECT COUNT(*) AS cnt FROM t WHERE x BETWEEN 120 AND 280"
+
+
+# ----------------------------------------------------------------------
+# Templates and dominance
+# ----------------------------------------------------------------------
+class TestPredicateTemplate:
+    def test_constants_extracted_share_template(self):
+        key1, params1 = sel.predicate_template(Between("x", 10, 20))
+        key2, params2 = sel.predicate_template(Between("x", 30, 40))
+        assert key1 == key2 == ("between", "x")
+        assert params1 == (10, 20) and params2 == (30, 40)
+
+    def test_compare_op_is_part_of_the_shape(self):
+        lt, _ = sel.predicate_template(Compare("x", CompareOp.LT, 5))
+        ge, _ = sel.predicate_template(Compare("x", CompareOp.GE, 5))
+        assert lt != ge
+
+    def test_boolean_children_sorted_by_key(self):
+        a = Between("x", 1, 2)
+        b = Equals("grp", "a")
+        assert sel.predicate_template(And([a, b])) == sel.predicate_template(
+            And([b, a])
+        )
+        assert sel.predicate_template(Or([a, b])) == sel.predicate_template(
+            Or([b, a])
+        )
+        # AND and OR are different shapes even with identical children.
+        assert sel.predicate_template(And([a, b]))[0] != (
+            sel.predicate_template(Or([a, b]))[0]
+        )
+
+    def test_inset_params_are_order_insensitive(self):
+        t1 = sel.predicate_template(InSet("grp", ["a", "b"]))
+        t2 = sel.predicate_template(InSet("grp", ["b", "a", "a"]))
+        assert t1 == t2
+
+    def test_not_nests_the_child_shape(self):
+        key, params = sel.predicate_template(Not(Between("x", 1, 9)))
+        assert key == ("not", ("between", "x"))
+        assert params == ((1, 9),)
+
+    def test_untemplatable_predicates_return_none(self):
+        bitmask = BitmaskDisjoint(Bitmask(4, [1]))
+        assert sel.predicate_template(bitmask) is None
+        assert sel.predicate_template(And([Equals("x", 1), bitmask])) is None
+        assert sel.predicate_template(Not(bitmask)) is None
+        # Unhashable membership values cannot key a store slot.
+        assert sel.predicate_template(InSet("x", [[1], [2]])) is None
+
+
+class TestDominance:
+    def test_between_wider_dominates_narrower_only(self):
+        key = ("between", "x")
+        assert sel.dominates(key, (10, 40), (15, 30))
+        assert sel.dominates(key, (10, 40), (10, 40))
+        assert not sel.dominates(key, (15, 30), (10, 40))
+        assert not sel.dominates(key, (10, 40), (5, 30))
+
+    def test_compare_direction(self):
+        lt = ("cmp", "x", CompareOp.LT.value)
+        assert sel.dominates(lt, (50,), (40,))
+        assert not sel.dominates(lt, (40,), (50,))
+        ge = ("cmp", "x", CompareOp.GE.value)
+        assert sel.dominates(ge, (10,), (20,))
+        assert not sel.dominates(ge, (20,), (10,))
+        # Equality comparisons only cover themselves.
+        eq = ("cmp", "x", CompareOp.EQ.value)
+        assert sel.dominates(eq, (7,), (7,))
+        assert not sel.dominates(eq, (7,), (8,))
+
+    def test_inset_superset_dominates(self):
+        key = ("in", "grp")
+        assert sel.dominates(key, (frozenset("abc"),), (frozenset("ab"),))
+        assert not sel.dominates(key, (frozenset("ab"),), (frozenset("abc"),))
+
+    def test_not_requires_exact_parameters(self):
+        key = ("not", ("between", "x"))
+        assert sel.dominates(key, ((10, 40),), ((10, 40),))
+        # A wider NOT-BETWEEN matches *fewer* rows: containment flips.
+        assert not sel.dominates(key, ((10, 40),), ((15, 30),))
+
+    def test_and_or_dominate_childwise(self):
+        key, wide = sel.predicate_template(
+            And([Between("x", 0, 100), Equals("grp", "a")])
+        )
+        _, narrow = sel.predicate_template(
+            And([Between("x", 10, 90), Equals("grp", "a")])
+        )
+        assert sel.dominates(key, wide, narrow)
+        assert not sel.dominates(key, narrow, wide)
+
+    def test_incomparable_types_conservatively_fail(self):
+        assert not sel.dominates(("between", "x"), (10, 40), ("a", "b"))
+        assert not sel.dominates(("unknown",), (1,), (1,))
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+class TestSketchStore:
+    KEY = ("between", "x")
+
+    def test_lookup_prefers_smallest_dominating_set(self):
+        store = sel.SketchStore()
+        col = Column.ints(np.arange(10))
+        store.record(self.KEY, [col], (0, 100), 4, [0, 1, 2, 3])
+        store.record(self.KEY, [col], (10, 50), 4, [1, 2])
+        got = store.lookup(self.KEY, [col], (20, 40), 4, count_stats=False)
+        assert got.tolist() == [1, 2]
+        # Non-dominated parameters miss.
+        assert (
+            store.lookup(self.KEY, [col], (0, 200), 4, count_stats=False)
+            is None
+        )
+
+    def test_chunk_rows_is_part_of_the_key(self):
+        store = sel.SketchStore()
+        col = Column.ints(np.arange(10))
+        store.record(self.KEY, [col], (0, 100), 4, [0, 1])
+        assert (
+            store.lookup(self.KEY, [col], (0, 100), 8, count_stats=False)
+            is None
+        )
+
+    def test_capacity_evicts_least_hit_entry(self):
+        store = sel.SketchStore()
+        col = Column.ints(np.arange(10))
+        for i in range(sel.SKETCH_SLOT_CAPACITY + 1):
+            low = i * 100
+            store.record(self.KEY, [col], (low, low + 10), 4, [i % 4])
+        assert len(store) == 1  # one slot, many entries
+        # The first (never-hit) entry was evicted; the second survives.
+        assert (
+            store.lookup(self.KEY, [col], (2, 8), 4, count_stats=False)
+            is None
+        )
+        assert (
+            store.lookup(self.KEY, [col], (102, 108), 4, count_stats=False)
+            is not None
+        )
+
+    def test_anchor_death_drops_the_slot(self):
+        store = sel.SketchStore()
+        col = Column.ints(np.arange(10))
+        store.record(self.KEY, [col], (0, 100), 4, [0, 1])
+        assert len(store) == 1
+        del col
+        gc.collect()
+        assert len(store) == 0
+
+    def test_invalidate_object_drops_anchored_slots_only(self):
+        store = sel.SketchStore()
+        col_a = Column.ints(np.arange(10))
+        col_b = Column.ints(np.arange(10))
+        store.record(self.KEY, [col_a], (0, 100), 4, [0])
+        store.record(("between", "y"), [col_b], (0, 100), 4, [1])
+        store.invalidate_object(col_a)
+        assert len(store) == 1
+        assert (
+            store.lookup(self.KEY, [col_a], (0, 100), 4, count_stats=False)
+            is None
+        )
+        assert (
+            store.lookup(
+                ("between", "y"), [col_b], (0, 100), 4, count_stats=False
+            )
+            is not None
+        )
+
+    def test_chunk_hits_accumulate_per_chunk(self):
+        store = sel.SketchStore()
+        col = Column.ints(np.arange(10))
+        store.record(self.KEY, [col], (0, 100), 4, [1, 2])
+        store.lookup(self.KEY, [col], (10, 20), 4, count_stats=False)
+        hits = store.chunk_hits(self.KEY, [col], 4, 4)
+        assert hits.tolist() == [0.0, 2.0, 2.0, 0.0]  # record + lookup
+
+
+# ----------------------------------------------------------------------
+# Executor fast path: exactness and equivalence
+# ----------------------------------------------------------------------
+class TestSketchFastPath:
+    def _run(self, db, sql, options):
+        stats = PieceSkipStats("t")
+        result = execute(db, parse_query(sql), options=options, skip_stats=stats)
+        return result, stats
+
+    def test_dominating_sketch_serves_exact_answer(self):
+        db = clustered_db()
+        options = ExecutionOptions(chunk_rows=50)
+        self._run(db, WIDE_SQL, options)  # records the realized chunk set
+        narrow, stats = self._run(db, NARROW_SQL, options)
+        assert stats.sketch_hit
+        assert stats.chunks_scanned < stats.n_chunks
+        # Byte-identical to a cold evaluation of the same query.
+        get_cache().clear()
+        sel.reset_sketch_store()
+        cold, cold_stats = self._run(db, NARROW_SQL, options)
+        assert not cold_stats.sketch_hit
+        assert narrow.rows == cold.rows
+        assert narrow.raw_counts == cold.raw_counts
+
+    def test_wider_query_does_not_hit(self):
+        db = clustered_db()
+        options = ExecutionOptions(chunk_rows=50)
+        self._run(db, NARROW_SQL, options)
+        wide, stats = self._run(db, WIDE_SQL, options)
+        assert not stats.sketch_hit
+        assert wide.rows[()][0] == 200.0
+
+    def test_chunk_rows_mismatch_does_not_hit(self):
+        db = clustered_db()
+        self._run(db, WIDE_SQL, ExecutionOptions(chunk_rows=50))
+        _, stats = self._run(db, NARROW_SQL, ExecutionOptions(chunk_rows=25))
+        assert not stats.sketch_hit
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_sketch_answers_identical_across_backends(self, executor, workers):
+        db = clustered_db()
+        base_options = ExecutionOptions(chunk_rows=50)
+        baseline, _ = self._run(db, NARROW_SQL, base_options)
+        get_cache().clear()
+        sel.reset_sketch_store()
+
+        options = ExecutionOptions(
+            chunk_rows=50, executor=executor, max_workers=workers
+        )
+        self._run(db, WIDE_SQL, options)
+        get_cache().clear()  # force re-evaluation through the sketch
+        result, stats = self._run(db, NARROW_SQL, options)
+        shutdown_default_pools()
+        assert stats.sketch_hit
+        assert result.rows == baseline.rows
+        assert result.raw_counts == baseline.raw_counts
+
+
+# ----------------------------------------------------------------------
+# Invalidation: mutation must never serve a stale sketch
+# ----------------------------------------------------------------------
+SPEC = dict(
+    categoricals=[
+        CategoricalSpec("color", 20, 1.5),
+        CategoricalSpec("status", 4, 0.8),
+    ],
+    measures=[MeasureSpec("amount", distribution="lognormal")],
+)
+
+
+class TestSketchInvalidation:
+    def test_append_rows_never_serves_stale_sketch(self):
+        db = clustered_db()
+        options = ExecutionOptions(chunk_rows=50)
+        execute(db, parse_query(WIDE_SQL), options=options)
+        stats = PieceSkipStats("t")
+        execute(
+            db, parse_query(NARROW_SQL), options=options, skip_stats=stats
+        )
+        assert stats.sketch_hit  # the sketch was live before the append
+
+        # The appended rows match the predicate but land in brand-new
+        # chunks the recorded sketch has never seen.
+        batch = Table(
+            "t",
+            {
+                "x": Column.ints(np.full(100, 200)),
+                "grp": Column.strings(["z"] * 100),
+            },
+        )
+        db.append_rows("t", batch)
+        after_stats = PieceSkipStats("t")
+        after = execute(
+            db, parse_query(NARROW_SQL), options=options, skip_stats=after_stats
+        )
+        assert not after_stats.sketch_hit
+        assert after.rows[()][0] == float(161 + 100)  # 120..280 plus appended
+
+        # Identical to a database built directly from the final data.
+        fresh = Database(
+            [
+                Table(
+                    "t",
+                    {
+                        "x": Column.ints(
+                            np.concatenate([np.arange(400), np.full(100, 200)])
+                        ),
+                        "grp": Column.strings(
+                            ["abcdefgh"[(i // 50) % 8] for i in range(400)]
+                            + ["z"] * 100
+                        ),
+                    },
+                )
+            ]
+        )
+        sel.reset_sketch_store()
+        get_cache().clear()
+        baseline = execute(fresh, parse_query(NARROW_SQL), options=options)
+        assert after.rows == baseline.rows
+        assert after.raw_counts == baseline.raw_counts
+
+    def test_drop_table_drops_sketches(self):
+        db = clustered_db()
+        options = ExecutionOptions(chunk_rows=50)
+        execute(db, parse_query(WIDE_SQL), options=options)
+        store = sel.get_sketch_store()
+        assert len(store) == 1
+        db.drop_table("t")
+        assert len(store) == 0
+
+    def test_insert_rows_sample_maintenance_not_stale(self):
+        db = Database([generate_flat_table("flat", 4000, seed=31, **SPEC)])
+        technique = SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.05, use_reservoir=False, seed=31)
+        )
+        technique.preprocess(db)
+        query = parse_query(
+            "SELECT status, COUNT(*) AS cnt, SUM(amount) AS total "
+            "FROM flat WHERE amount BETWEEN 0.5 AND 50.0 GROUP BY status"
+        )
+        technique.answer(query)  # warms sketches over the sample tables
+        technique.insert_rows(generate_flat_table("flat", 1000, seed=77, **SPEC))
+
+        # Staleness oracle: the answer with whatever sketches survived
+        # the mutation must equal the answer with no sketches at all.
+        after = technique.answer(query)
+        sel.get_sketch_store().clear()
+        get_cache().clear()
+        clean = technique.answer(query)
+        assert set(after.groups) == set(clean.groups)
+        for group, estimates in clean.groups.items():
+            for mine, other in zip(estimates, after.groups[group]):
+                assert other.value == mine.value, group
+                assert other.variance == mine.variance, group
+
+
+# ----------------------------------------------------------------------
+# Budgeted selection: determinism + unbiasedness mechanics
+# ----------------------------------------------------------------------
+def flat_sample_db() -> Database:
+    return Database([generate_flat_table("flat", 4000, seed=5, **SPEC)])
+
+
+SELECTION_SQL = (
+    "SELECT status, COUNT(*) AS cnt, SUM(amount) AS total "
+    "FROM flat WHERE amount >= 0.0 GROUP BY status"
+)
+
+
+def assert_identical_answers(answers: dict) -> None:
+    keys = sorted(answers)
+    base = answers[keys[0]]
+    for key in keys[1:]:
+        answer = answers[key]
+        assert set(answer.groups) == set(base.groups), key
+        for group, estimates in base.groups.items():
+            for mine, other in zip(estimates, answer.groups[group]):
+                assert other.value == mine.value, (key, group)
+                assert other.variance == mine.variance, (key, group)
+                assert other.confidence_interval() == (
+                    mine.confidence_interval()
+                ), (key, group)
+        assert answer.rows_scanned == base.rows_scanned, key
+
+
+class TestBudgetedSelection:
+    def test_options_validation(self):
+        with pytest.raises(QueryError):
+            ExecutionOptions(selection_budget=0)
+        with pytest.raises(QueryError):
+            ExecutionOptions(selection_seed=-1)
+
+    def test_plan_none_when_budget_not_binding(self):
+        table = clustered_db().table("t")
+        options = ExecutionOptions(
+            chunk_rows=50, chunk_selection=True, selection_budget=10**9
+        )
+        assert sel.plan_chunk_selection(table, None, options) is None
+
+    def test_plan_none_when_selection_off(self):
+        table = clustered_db().table("t")
+        assert (
+            sel.plan_chunk_selection(
+                table, None, ExecutionOptions(chunk_rows=50)
+            )
+            is None
+        )
+
+    def test_plan_is_deterministic_and_seed_sensitive(self):
+        table = clustered_db().table("t")
+        options = ExecutionOptions(
+            chunk_rows=50, chunk_selection=True, selection_budget=100
+        )
+        plan1 = sel.plan_chunk_selection(table, None, options)
+        plan2 = sel.plan_chunk_selection(table, None, options)
+        assert plan1 == plan2
+        assert 0 < len(plan1.chunk_indices) < plan1.n_eligible
+        draws = {
+            sel.plan_chunk_selection(
+                table,
+                None,
+                ExecutionOptions(
+                    chunk_rows=50,
+                    chunk_selection=True,
+                    selection_budget=100,
+                    selection_seed=seed,
+                ),
+            ).chunk_indices
+            for seed in range(8)
+        }
+        assert len(draws) > 1  # the seed actually moves the draw
+
+    def test_sketch_narrows_eligibility_before_the_draw(self):
+        db = clustered_db()
+        table = db.table("t")
+        options = ExecutionOptions(chunk_rows=50)
+        execute(db, parse_query(WIDE_SQL), options=options)
+        predicate = parse_query(NARROW_SQL).where
+        plan = sel.plan_chunk_selection(
+            table,
+            predicate,
+            ExecutionOptions(
+                chunk_rows=50, chunk_selection=True, selection_budget=100
+            ),
+        )
+        # x BETWEEN 100 AND 299 realizes chunks 2..5 of eight; the
+        # dominating sketch caps eligibility there.
+        assert plan is not None
+        assert plan.n_eligible == 4
+        assert set(plan.chunk_indices) <= {2, 3, 4, 5}
+
+    def test_ht_count_exact_under_uniform_probabilities(self):
+        # Equal chunk sizes + no predicate → equal scores → uniform π →
+        # the HT estimator reproduces COUNT exactly for any draw.
+        table = Table("t", {"x": Column.ints(np.arange(4000))})
+        query = parse_query("SELECT COUNT(*) AS cnt FROM t")
+        options = ExecutionOptions(
+            chunk_rows=100, chunk_selection=True, selection_budget=1000
+        )
+        result = aggregate_table(
+            table, query, collect_variance_stats=True, options=options
+        )
+        assert result.rows[()][0] == pytest.approx(4000.0)
+
+    def test_ht_weights_cover_selected_chunks_only(self):
+        table = Table("t", {"x": Column.ints(np.arange(400))})
+        options = ExecutionOptions(
+            chunk_rows=50, chunk_selection=True, selection_budget=100
+        )
+        plan = sel.plan_chunk_selection(table, None, options)
+        weights = sel.ht_row_weights(plan, 400, 50)
+        selected = np.zeros(400, dtype=bool)
+        for chunk in plan.chunk_indices:
+            selected[chunk * 50 : (chunk + 1) * 50] = True
+        assert (weights[selected] > 0).all()
+        assert (weights[~selected] == 0).all()
+        lo, hi = plan.ht_weight_range
+        assert lo == weights[selected].min() and hi == weights[selected].max()
+
+    def test_budget_not_binding_equals_selection_off(self):
+        db = flat_sample_db()
+        technique = SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.05, use_reservoir=False, seed=7)
+        )
+        technique.preprocess(db)
+        query = parse_query(SELECTION_SQL)
+        answers = {}
+        previous = None
+        for index, options in enumerate(
+            (
+                ExecutionOptions(chunk_rows=64),
+                ExecutionOptions(
+                    chunk_rows=64,
+                    chunk_selection=True,
+                    selection_budget=10**9,
+                ),
+            )
+        ):
+            before = set_default_options(options)
+            if previous is None:
+                previous = before
+            sel.reset_sketch_store()
+            get_cache().clear()
+            answers[index] = technique.answer(query)
+        set_default_options(previous)
+        shutdown_default_pools()
+        assert_identical_answers(answers)
+
+    CONFIGS = (
+        ExecutionOptions(
+            max_workers=1,
+            chunk_rows=64,
+            executor="serial",
+            chunk_selection=True,
+            selection_budget=256,
+        ),
+        ExecutionOptions(
+            max_workers=4,
+            chunk_rows=64,
+            executor="thread",
+            chunk_selection=True,
+            selection_budget=256,
+        ),
+        ExecutionOptions(
+            max_workers=8,
+            chunk_rows=64,
+            executor="thread",
+            chunk_selection=True,
+            selection_budget=256,
+        ),
+        ExecutionOptions(
+            max_workers=4,
+            chunk_rows=64,
+            executor="process",
+            chunk_selection=True,
+            selection_budget=256,
+        ),
+    )
+
+    def test_answers_identical_across_backends_and_worker_counts(self):
+        db = flat_sample_db()
+        technique = SmallGroupSampling(
+            SmallGroupConfig(base_rate=0.2, use_reservoir=False, seed=7)
+        )
+        technique.preprocess(db)
+        query = parse_query(SELECTION_SQL)
+        registry = get_registry()
+        answers = {}
+        previous = None
+        for index, options in enumerate(self.CONFIGS, start=1):
+            before = set_default_options(options)
+            if previous is None:
+                previous = before
+            # Pin the planning inputs: an empty sketch history for every
+            # configuration, so the draw is a pure function of the
+            # summaries, the budget, and the seed.
+            sel.reset_sketch_store()
+            get_cache().clear()
+            plans_before = registry.counter("selection.plans")
+            answers[index] = technique.answer(query)
+            assert registry.counter("selection.plans") > plans_before, index
+        set_default_options(previous)
+        shutdown_default_pools()
+        assert_identical_answers(answers)
+        # The budget bound at least one piece: the answer is genuinely
+        # a budgeted estimate, not a degenerate full scan.
+        report = answers[1].skip_report
+        assert report is not None and report.pieces_selected > 0

@@ -13,6 +13,7 @@ from repro.engine.expressions import (
     Equals,
     InSet,
     Not,
+    Or,
     Query,
     conjoin,
 )
@@ -41,7 +42,7 @@ LITERAL = st.one_of(
 
 @st.composite
 def predicates(draw, depth=0):
-    choice = draw(st.integers(min_value=0, max_value=5 if depth < 2 else 3))
+    choice = draw(st.integers(min_value=0, max_value=6 if depth < 2 else 3))
     column = draw(IDENT)
     if choice == 0:
         return Equals(column, draw(LITERAL))
@@ -57,6 +58,11 @@ def predicates(draw, depth=0):
         return Compare(column, op, draw(st.integers(-100, 100)))
     if choice == 4:
         return Not(draw(predicates(depth + 1)))
+    if choice == 5:
+        # min_size=2: a one-arm OR formats without the wrapper and would
+        # (correctly) parse back as the bare arm.
+        arms = draw(st.lists(predicates(depth + 1), min_size=2, max_size=3))
+        return Or(arms)
     bits = draw(st.sets(st.integers(0, DEFAULT_BITMASK_BITS - 1), max_size=5))
     return BitmaskDisjoint(Bitmask(DEFAULT_BITMASK_BITS, bits))
 
@@ -77,16 +83,20 @@ def queries(draw):
 
 
 def normalise(predicate):
-    """Flatten nested ANDs and fold EQ comparisons, as the parser does."""
+    """Fold EQ comparisons and flatten same-type AND nesting, as the parser
+    does.  OR arms stay nested: the formatter parenthesizes compound
+    operands, so ``(a OR b) OR c`` parses back with the inner OR intact."""
     if isinstance(predicate, Compare) and predicate.op is CompareOp.EQ:
         return Equals(predicate.column, predicate.value)
     if isinstance(predicate, Not):
         return Not(normalise(predicate.operand))
+    if isinstance(predicate, Or):
+        return Or([normalise(op) for op in predicate.operands])
     if hasattr(predicate, "operands"):
         flat = []
         for op in predicate.operands:
             n = normalise(op)
-            if hasattr(n, "operands"):
+            if hasattr(n, "operands") and not isinstance(n, Or):
                 flat.extend(n.operands)
             else:
                 flat.append(n)

@@ -22,6 +22,7 @@ from repro.engine.expressions import (
     Equals,
     InSet,
     Not,
+    Or,
     Predicate,
 )
 from repro.engine.parallel import ExecutionOptions
@@ -260,6 +261,158 @@ class TestComposites:
             evaluate_predicate(
                 table, BitmaskDisjoint(Bitmask(4, [1])), options(4)
             )
+
+
+class TestOrVerdicts:
+    def test_or_takes_elementwise_verdict_maximum(self):
+        table = clustered_table()
+        verdicts = chunk_verdicts(
+            table, Or([Equals("grp", "b"), Equals("grp", "c")]), options(10)
+        )
+        assert list(verdicts) == [
+            VERDICT_ALL_FALSE,
+            VERDICT_ALL_TRUE,
+            VERDICT_ALL_TRUE,
+            VERDICT_ALL_FALSE,
+        ]
+
+    def test_or_keeps_unknown_arms_scannable(self):
+        # Equals(x, 15) leaves chunk 1 UNKNOWN; Equals(grp, 'd') proves
+        # chunk 3.  The OR verdict is the elementwise maximum: UNKNOWN
+        # must survive (the chunk is scanned, never skipped).
+        table = clustered_table()
+        verdicts = chunk_verdicts(
+            table, Or([Equals("x", 15), Equals("grp", "d")]), options(10)
+        )
+        assert list(verdicts) == [
+            VERDICT_ALL_FALSE,
+            VERDICT_UNKNOWN,
+            VERDICT_ALL_FALSE,
+            VERDICT_ALL_TRUE,
+        ]
+
+    def test_or_refuted_only_when_every_arm_refuted(self):
+        table = clustered_table()
+        # One arm refuted everywhere, one UNKNOWN in chunk 1: not provably
+        # false overall.
+        assert not predicate_always_false(
+            table, Or([Equals("grp", "zzz"), Equals("x", 15)]), options(10)
+        )
+        # Both arms refuted in every chunk: provably false.
+        assert predicate_always_false(
+            table, Or([Equals("grp", "zzz"), Equals("x", 99)]), options(10)
+        )
+
+    @pytest.mark.parametrize("chunk_rows", [7, 10, 100000])
+    def test_or_mask_identity(self, chunk_rows):
+        table = clustered_table()
+        pred = Or([Between("x", 5, 14), Equals("grp", "d"), Equals("x", 22)])
+        expected = pred.evaluate(table)
+        got = evaluate_predicate(table, pred, options(chunk_rows))
+        assert np.array_equal(got, expected)
+
+
+class TestVerdictEdgeCases:
+    """Boundary semantics the proofs must get right: NaN bounds, NaN
+    chunks, mixed int/float comparisons, and distinct-cutoff capping."""
+
+    @pytest.mark.parametrize(
+        "pred",
+        [
+            Between("x", float("nan"), 20),
+            Between("x", 0, float("nan")),
+            Between("x", float("nan"), float("nan")),
+        ],
+    )
+    def test_nan_between_bound_refutes_everywhere(self, pred):
+        # x >= NaN and x <= NaN are elementwise False, so a NaN bound
+        # makes the predicate vacuous — the verdicts may prove it.
+        table = clustered_table()
+        verdicts = chunk_verdicts(table, pred, options(10))
+        assert (verdicts == VERDICT_ALL_FALSE).all()
+        assert predicate_always_false(table, pred, options(10))
+        mask = evaluate_predicate(table, pred, options(10))
+        assert np.array_equal(mask, pred.evaluate(table))
+        assert not mask.any()
+
+    def test_nan_chunk_stays_unknown_for_between(self):
+        # Chunk 0 contains a NaN, so its min/max are NaN and no bound
+        # proof applies even though every finite value lies inside the
+        # interval; chunk 1 is cleanly provable.
+        table = Table(
+            "t",
+            {"v": Column.floats([1.0, float("nan"), 2.0, 3.0, 50.0, 60.0, 70.0, 80.0])},
+        )
+        pred = Between("v", 0.0, 10.0)
+        verdicts = chunk_verdicts(table, pred, options(4))
+        assert list(verdicts) == [VERDICT_UNKNOWN, VERDICT_ALL_FALSE]
+        mask = evaluate_predicate(table, pred, options(4))
+        assert np.array_equal(mask, pred.evaluate(table))
+
+    def test_int_column_float_literal_comparisons(self):
+        # 9.5 falls between chunk 0's max (9) and chunk 1's min (10):
+        # the float bound must prove both sides without rounding.
+        table = clustered_table()
+        verdicts = chunk_verdicts(
+            table, Compare("x", CompareOp.GE, 9.5), options(10)
+        )
+        assert list(verdicts) == [
+            VERDICT_ALL_FALSE,
+            VERDICT_ALL_TRUE,
+            VERDICT_ALL_TRUE,
+            VERDICT_ALL_TRUE,
+        ]
+        # A fractional equality literal inside a chunk's [min, max] stays
+        # UNKNOWN (zone maps carry no integrality proof); the scan then
+        # correctly finds nothing.
+        pred = Equals("x", 15.5)
+        verdicts = chunk_verdicts(table, pred, options(10))
+        assert list(verdicts) == [
+            VERDICT_ALL_FALSE,
+            VERDICT_UNKNOWN,
+            VERDICT_ALL_FALSE,
+            VERDICT_ALL_FALSE,
+        ]
+        mask = evaluate_predicate(table, pred, options(10))
+        assert np.array_equal(mask, pred.evaluate(table))
+        assert not mask.any()
+
+    def test_float_column_int_literal_comparisons(self):
+        table = Table(
+            "t", {"v": Column.floats([0.5, 1.5, 2.5, 3.5, 10.5, 11.5, 12.5, 13.5])}
+        )
+        pred = Between("v", 1, 3)
+        verdicts = chunk_verdicts(table, pred, options(4))
+        assert list(verdicts) == [VERDICT_UNKNOWN, VERDICT_ALL_FALSE]
+        mask = evaluate_predicate(table, pred, options(4))
+        assert np.array_equal(mask, pred.evaluate(table))
+        assert int(mask.sum()) == 2
+
+    def test_capped_distinct_chunk_stays_unknown_never_all_false(self):
+        # Chunk 0 holds more distinct strings than the summary cutoff, so
+        # its code set is not stored; membership must stay UNKNOWN there
+        # — claiming ALL_FALSE for the absent target would drop chunk 1's
+        # sibling proof obligations onto unsound ground.  Chunk 1 is a
+        # single distinct value and stays provable.
+        n = ZONE_MAP_DISTINCT_CUTOFF + 8
+        values = [f"v{i:03d}" for i in range(n)] + ["w"] * n
+        table = Table("t", {"s": Column.strings(values)})
+        for pred in (InSet("s", ["w"]), Equals("s", "w")):
+            verdicts = chunk_verdicts(table, pred, options(n))
+            assert verdicts[0] == VERDICT_UNKNOWN, pred
+            assert verdicts[1] == VERDICT_ALL_TRUE, pred
+            mask = evaluate_predicate(table, pred, options(n))
+            assert np.array_equal(mask, pred.evaluate(table)), pred
+            assert int(mask.sum()) == n, pred
+        # A value that exists only inside the capped chunk: provably
+        # absent from chunk 1, scannable (not refuted) in chunk 0.
+        pred = InSet("s", ["v000", "v001"])
+        verdicts = chunk_verdicts(table, pred, options(n))
+        assert verdicts[0] == VERDICT_UNKNOWN
+        assert verdicts[1] == VERDICT_ALL_FALSE
+        mask = evaluate_predicate(table, pred, options(n))
+        assert np.array_equal(mask, pred.evaluate(table))
+        assert int(mask.sum()) == 2
 
 
 def random_table(seed: int, n: int = 500) -> Table:
