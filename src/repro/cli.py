@@ -208,6 +208,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for the --chunk-selection weighted draw",
     )
+    parser.add_argument(
+        "--no-incremental-appends",
+        action="store_true",
+        help=(
+            "disable incremental append maintenance: append_rows falls "
+            "back to fully invalidating derived structures (zone maps, "
+            "word summaries, provenance sketches, reservoir state) "
+            "instead of extending them; answers are byte-identical "
+            "either way"
+        ),
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list reproducible figures/tables")
     figure = subparsers.add_parser(
@@ -377,6 +388,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             chunk_selection=args.chunk_selection,
             selection_budget=args.selection_budget,
             selection_seed=args.selection_seed,
+            incremental_appends=not args.no_incremental_appends,
         )
     )
     if args.command == "sql":
@@ -542,6 +554,15 @@ def _run_stats(args) -> int:
         f"plans={counter('selection.plans'):g} "
         f"chunks_selected={counter('selection.chunks_selected'):g}"
         f"/{counter('selection.chunks_eligible'):g} eligible"
+    )
+    # Incremental-ingestion summary, same always-printed discipline.
+    print(
+        "ingest: "
+        f"events={counter('ingest.events'):g} "
+        f"chunks_extended={counter('ingest.chunks_extended'):g} "
+        f"chunks_recomputed={counter('ingest.chunks_recomputed'):g} "
+        f"sketches_retained={counter('ingest.sketches_retained'):g} "
+        f"reservoir_updates={counter('ingest.reservoir_updates'):g}"
     )
     if args.json is not None:
         _write_json(

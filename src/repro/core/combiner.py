@@ -324,6 +324,7 @@ def _scatter_pieces_to_processes(
             "rows_touched",
             "mask_cached",
             "sketch_hit",
+            "appended_unknown",
             "selection_applied",
             "chunks_eligible",
             "chunks_selected",

@@ -57,11 +57,13 @@ from repro.engine.expressions import BitmaskDisjoint, Query
 from repro.engine.reservoir import (
     ReservoirSampler,
     as_generator,
+    reservoir_replacements,
     uniform_sample_indices,
 )
 from repro.engine.stats import DEFAULT_DISTINCT_THRESHOLD, collect_column_stats
 from repro.engine.table import Table
 from repro.errors import PreprocessingError, SamplingError
+from repro.obs.registry import get_registry
 from repro.sql.parser import BITMASK_COLUMN
 
 
@@ -333,7 +335,9 @@ class SmallGroupSampling(DynamicSampleSelection):
         self._n_bits: int = 0
         self._view_rows: int = 0
         self._classifiers: list = []
-        self._maintenance_rng: np.random.Generator | None = None
+        #: Completed ``insert_rows`` batches since the last preprocess:
+        #: seeds the deterministic per-append maintenance RNG stream.
+        self._append_ordinal: int = 0
         self._view_columns: tuple[str, ...] = ()
         self._fact_columns: tuple[str, ...] = ()
         self._foreign_keys: tuple = ()
@@ -508,7 +512,7 @@ class SmallGroupSampling(DynamicSampleSelection):
         self._n_bits = max(1, len(strata.metas))
         self._view_rows = n
         self._classifiers = list(strata.classifiers)
-        self._maintenance_rng = rng
+        self._append_ordinal = 0
         self._view_columns = tuple(view.column_names)
         self._fact_columns = tuple(db.fact_table.column_names)
         self._foreign_keys = (
@@ -939,7 +943,17 @@ class SmallGroupSampling(DynamicSampleSelection):
         n_new = batch.n_rows
         if n_new == 0:
             return
-        rng = self._maintenance_rng or as_generator(self.config.seed)
+        # Deterministic per-append RNG stream: the draws for append #i
+        # are a pure function of (seed, i), never of how many queries
+        # ran in between, so any interleaving of appends and queries
+        # yields samples byte-identical to a fresh session replaying the
+        # same appends in order at the same seed.
+        rng = as_generator(
+            np.random.default_rng(
+                [int(self.config.seed), 0x5EED, self._append_ordinal]
+            )
+        )
+        self._append_ordinal += 1
 
         # Class membership of the new rows across every small group table.
         member_matrix = (
@@ -983,13 +997,10 @@ class SmallGroupSampling(DynamicSampleSelection):
         part = self._overall_parts[0]
         overall = part.table
         k = overall.n_rows
-        replacements: dict[int, int] = {}
-        total = self._view_rows
-        for offset in range(n_new):
-            total += 1
-            if rng.random() < k / total:
-                replacements[int(rng.integers(0, k))] = offset
+        replacements = reservoir_replacements(k, self._view_rows, n_new, rng)
+        total = self._view_rows + n_new
         if replacements:
+            get_registry().incr("ingest.reservoir_updates", len(replacements))
             keep_mask = np.ones(k, dtype=bool)
             keep_mask[list(replacements)] = False
             kept = overall.filter(keep_mask)

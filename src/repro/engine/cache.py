@@ -65,6 +65,69 @@ def add_invalidation_listener(listener: Callable[[Any], None]) -> None:
     _INVALIDATION_LISTENERS.append(listener)
 
 
+@dataclass(frozen=True)
+class AppendEvent:
+    """A structured description of one ``append_rows`` table replacement.
+
+    Emitted *before* the old table is invalidated, so consumers can
+    migrate derived state from the old objects onto the new ones (zone
+    maps, bitmask word summaries, provenance sketches, arena segments)
+    instead of rebuilding from scratch on the next query.  The old
+    objects are still live while listeners run; the subsequent
+    ``invalidate_table(old)`` then only drops whatever stayed anchored
+    on them.
+
+    ``columns`` pairs every column name with its old and new
+    :class:`~repro.engine.column.Column` object.  ``Table.concat``
+    guarantees the new objects carry the old data as an unchanged
+    prefix (dictionary codes included), which is what makes per-chunk
+    summary reuse sound.
+    """
+
+    table_name: str
+    old_table: Any
+    new_table: Any
+    old_rows: int
+    new_rows: int
+    #: ``(name, old_column, new_column)`` per column, in table order.
+    columns: tuple[tuple[str, Any, Any], ...]
+    old_bitmask: Any = None
+    new_bitmask: Any = None
+
+
+#: Callbacks fired for every :class:`AppendEvent` — the delta-maintenance
+#: sibling of the invalidation channel.  Same contract: listeners run on
+#: the appending thread, outside any cache lock, and must not raise.
+_APPEND_LISTENERS: list[Callable[[AppendEvent], None]] = []
+
+
+def add_append_listener(listener: Callable[[AppendEvent], None]) -> None:
+    """Subscribe to append events (see :class:`AppendEvent`).
+
+    Consumers (zone maps, the sketch store, the column arena) use the
+    event to *extend* derived structures for the appended tail rather
+    than dropping them; the invalidation that follows the event then
+    finds nothing left anchored on the old objects.
+    """
+    _APPEND_LISTENERS.append(listener)
+
+
+def notify_append(event: AppendEvent) -> None:
+    """Fan one append event out to every registered listener.
+
+    Counts toward the ``ingest.events`` registry counter.  Like
+    invalidation, this call *is* the discharge of the
+    mutation-invalidation contract (lint rules RL001/RL013): a catalog
+    that swaps a table after notifying has routed every derived
+    structure through either the extend path or the drop path.
+    """
+    from repro.obs.registry import get_registry
+
+    get_registry().incr("ingest.events")
+    for listener in _APPEND_LISTENERS:
+        listener(event)
+
+
 @dataclass
 class CacheMetrics:
     """Hit/miss counters per cache kind (``group_ids``, ``join_positions``,
@@ -291,6 +354,28 @@ class ExecutionCache:
             self.put(kind, anchors, value, extra)
         return value
 
+    def entries_for_anchor(
+        self, kind: str, anchor: Any
+    ) -> list[tuple[Hashable, Any]]:
+        """``(extra, value)`` pairs of kind ``kind`` anchored on ``anchor``.
+
+        Used by the incremental-append listeners to enumerate which
+        layouts (``extra`` is ``chunk_rows`` for the zone-map kinds) have
+        materialised summaries worth extending.  Only entries whose
+        weakref still resolves to this exact object are returned (id
+        reuse guard, as in :meth:`invalidate_object`).
+        """
+        out: list[tuple[Hashable, Any]] = []
+        with self._lock:
+            keys = self._anchor_keys.get(id(anchor))
+            for key in list(keys or ()):
+                if key[0] != kind:
+                    continue
+                entry = self._entries.get(key)
+                if entry is not None and any(r() is anchor for r in entry[0]):
+                    out.append((key[2], entry[2]))
+        return out
+
     # ------------------------------------------------------------------
     # Invalidation
     # ------------------------------------------------------------------
@@ -360,9 +445,12 @@ def execution_cache_metrics() -> CacheMetrics:
 
 __all__ = [
     "MISS",
+    "AppendEvent",
     "CacheMetrics",
     "ExecutionCache",
+    "add_append_listener",
     "add_invalidation_listener",
     "execution_cache_metrics",
     "get_cache",
+    "notify_append",
 ]

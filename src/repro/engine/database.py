@@ -12,8 +12,9 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from repro.engine.cache import MISS, get_cache
+from repro.engine.cache import MISS, AppendEvent, get_cache, notify_append
 from repro.engine.column import Column
+from repro.engine.parallel import ExecutionOptions, resolve_options
 from repro.engine.schema import StarSchema
 from repro.engine.table import Table
 from repro.errors import SchemaError
@@ -152,19 +153,53 @@ class Database:
             raise SchemaError(f"no table {name!r} to drop")
         self.cache.invalidate_table(self._tables.pop(name))
 
-    def append_rows(self, name: str, batch: Table) -> Table:
+    def append_rows(
+        self,
+        name: str,
+        batch: Table,
+        options: ExecutionOptions | None = None,
+    ) -> Table:
         """Append ``batch``'s rows to table ``name`` (incremental-load path).
 
-        The stored table is replaced wholesale by the concatenation and
-        every cached artifact derived from the old version — group ids,
-        join positions, predicate masks, gathered dimension columns — is
-        invalidated explicitly rather than waiting for garbage collection.
-        Invalidation listeners fan the event out to the process backend's
-        shared-memory arena too, so segments published for the old
-        table's buffers are unlinked immediately.  Returns the new table.
+        The stored table is replaced wholesale by the concatenation.
+        With ``options.incremental_appends`` (the default), a structured
+        :class:`~repro.engine.cache.AppendEvent` is emitted *first*:
+        listeners migrate derived structures — per-chunk zone maps,
+        bitmask word summaries, provenance sketches — from the old
+        objects to the new ones, extending them for the appended tail
+        instead of rebuilding from scratch.  The explicit
+        ``invalidate_table(old)`` that follows then drops only what
+        stayed anchored on the old objects (predicate masks, group ids,
+        join positions — artifacts whose values genuinely changed) and
+        fans out to the process backend's shared-memory arena so old
+        segments are unlinked immediately.  Returns the new table.
+
+        With the flag off — or for degenerate appends (empty table or
+        empty batch, where there is nothing worth extending) — the whole
+        path is the historical full invalidation.
         """
         old = self.table(name)
         merged = old.concat(batch)
+        if (
+            resolve_options(options).incremental_appends
+            and old.n_rows > 0
+            and batch.n_rows > 0
+        ):
+            notify_append(
+                AppendEvent(
+                    table_name=name,
+                    old_table=old,
+                    new_table=merged,
+                    old_rows=old.n_rows,
+                    new_rows=merged.n_rows,
+                    columns=tuple(
+                        (c, old.column(c), merged.column(c))
+                        for c in merged.column_names
+                    ),
+                    old_bitmask=old.bitmask,
+                    new_bitmask=merged.bitmask,
+                )
+            )
         self.cache.invalidate_table(old)
         self._tables[name] = merged
         return merged

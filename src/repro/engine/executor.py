@@ -336,11 +336,12 @@ def _sketch_mask(
     chunk outside the sketch holds no matching row, and the sketched
     chunks are re-evaluated against the *current* predicate.
     """
-    sketched = selection_lib.get_sketch_store().lookup(
+    hit = selection_lib.get_sketch_store().lookup(
         template[0], anchors, template[1], options.chunk_rows
     )
-    if sketched is None:
+    if hit is None:
         return None
+    sketched = hit.chunks
     ranges = chunk_ranges(table.n_rows, options.chunk_rows)
     mask = np.zeros(table.n_rows, dtype=bool)
     touched = 0
@@ -351,6 +352,12 @@ def _sketch_mask(
     if stats is not None:
         stats.rows_total = table.n_rows
         stats.sketch_hit = True
+        # Post-append UNKNOWN chunks are scanned on faith, not recorded
+        # relevance; count them apart so sketch scan ratios stay
+        # comparable under append-heavy workloads.
+        stats.appended_unknown = sum(
+            1 for chunk in sketched if int(chunk) in hit.appended
+        )
         stats.observe_chunks(
             n_chunks=len(ranges),
             skipped=len(ranges) - len(sketched),

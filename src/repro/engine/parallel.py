@@ -110,6 +110,17 @@ class ExecutionOptions:
     selection_seed:
         Seed for the selection draw.  Fixed seed + fixed budget →
         byte-identical answers at any ``max_workers``/``executor``.
+    incremental_appends:
+        Whether ``Database.append_rows`` emits a structured append event
+        (:class:`repro.engine.cache.AppendEvent`) so derived structures
+        — zone maps, bitmask word summaries, provenance sketches — are
+        *extended* for the appended tail instead of dropped and rebuilt
+        from scratch on the next query.  Answers are byte-identical
+        either way (the extend paths reuse a per-chunk summary only when
+        the chunk's row range is provably unchanged); the flag is the
+        ``--no-incremental-appends`` escape hatch for benchmarking the
+        full-invalidation path.  ``insert_rows``/``drop_table`` always
+        take the full-invalidation path.
     """
 
     max_workers: int = 1
@@ -119,6 +130,7 @@ class ExecutionOptions:
     chunk_selection: bool = False
     selection_budget: int = 65536
     selection_seed: int = 0
+    incremental_appends: bool = True
 
     def __post_init__(self) -> None:
         if self.max_workers < 0:

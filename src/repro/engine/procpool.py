@@ -75,7 +75,11 @@ from typing import Any
 import numpy as np
 
 from repro.engine.bitmask import BitmaskVector
-from repro.engine.cache import add_invalidation_listener
+from repro.engine.cache import (
+    AppendEvent,
+    add_append_listener,
+    add_invalidation_listener,
+)
 from repro.engine.column import Column, ColumnKind, column_from_parts
 from repro.engine.parallel import (
     MAX_POOL_WORKERS,
@@ -431,6 +435,23 @@ def _on_invalidate(obj: Any) -> None:
         arena.release_object(obj)
 
 
+def _on_append(event: AppendEvent) -> None:
+    """Append-event listener: retire the superseded table's segments.
+
+    Every concat produces fresh backing arrays, so the old table's
+    published segments can never serve the merged table — drop them
+    eagerly (the grown columns republish lazily on the next scatter).
+    Runs before the append's ``invalidate_table``, so the releases are
+    attributable to ingestion rather than generic invalidation.
+    """
+    arena = _ARENA
+    if arena is None or os.getpid() != arena._owner_pid:
+        return
+    released = arena.release_table(event.old_table)
+    if released:
+        get_registry().incr("ingest.arena_releases", released)
+
+
 def get_arena() -> ColumnArena:
     """The process-wide column arena, created lazily."""
     global _ARENA, _LISTENER_REGISTERED
@@ -439,6 +460,7 @@ def get_arena() -> ColumnArena:
             _ARENA = ColumnArena()
             if not _LISTENER_REGISTERED:
                 add_invalidation_listener(_on_invalidate)
+                add_append_listener(_on_append)
                 _LISTENER_REGISTERED = True
         return _ARENA
 

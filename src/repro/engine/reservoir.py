@@ -78,6 +78,41 @@ class ReservoirSampler:
         return np.sort(np.asarray(self._reservoir, dtype=np.int64))
 
 
+def reservoir_replacements(
+    capacity: int,
+    total_before: int,
+    n_new: int,
+    rng: int | np.random.Generator | None = None,
+) -> dict[int, int]:
+    """Algorithm R replacement decisions for a batch of new stream items.
+
+    Extends a full reservoir of size ``capacity`` that has already
+    observed ``total_before`` items with ``n_new`` more: item ``offset``
+    (0-based within the batch) is accepted with probability
+    ``capacity / (total_before + offset + 1)`` and evicts a uniform slot
+    — exactly the per-item discipline of :meth:`ReservoirSampler.offer`,
+    so inclusion probabilities stay ``capacity / total`` throughout.
+    Returns ``{reservoir_slot: batch_offset}`` with later acceptances
+    overwriting earlier ones on the same slot (last write wins, as in
+    the streaming formulation).  The RNG draw sequence is a pure
+    function of ``(capacity, total_before, n_new)``, which is what lets
+    the incremental-append path derive a deterministic per-append stream
+    and stay byte-identical to a fresh build replaying the same appends.
+    """
+    if capacity < 0:
+        raise SamplingError(
+            f"reservoir capacity must be >= 0, got {capacity}"
+        )
+    gen = as_generator(rng)
+    replacements: dict[int, int] = {}
+    total = total_before
+    for offset in range(n_new):
+        total += 1
+        if gen.random() < capacity / total:
+            replacements[int(gen.integers(0, capacity))] = offset
+    return replacements
+
+
 def uniform_sample_indices(
     n: int, k: int, rng: int | np.random.Generator | None = None
 ) -> np.ndarray:

@@ -52,7 +52,12 @@ from typing import Any
 import numpy as np
 
 from repro.engine import zonemap
-from repro.engine.cache import add_invalidation_listener, get_cache
+from repro.engine.cache import (
+    AppendEvent,
+    add_append_listener,
+    add_invalidation_listener,
+    get_cache,
+)
 from repro.engine.expressions import (
     And,
     Between,
@@ -193,11 +198,34 @@ def dominates(template_key: tuple, old_params: tuple, new_params: tuple) -> bool
 # ----------------------------------------------------------------------
 @dataclass
 class _SketchEntry:
-    """One parameter variant of a template: its realized chunk set."""
+    """One parameter variant of a template: its realized chunk set.
+
+    ``appended`` marks chunks added to ``chunks`` by the incremental
+    append path (:meth:`SketchStore.extend_on_append`) rather than by a
+    full evaluation: they are UNKNOWN-relevance tail chunks that must be
+    scanned until the next complete evaluation re-records the entry.
+    Dominance reuse stays sound — every row the append touched lives in
+    an appended chunk, and appended chunks are always in ``chunks``.
+    """
 
     params: tuple
     chunks: tuple[int, ...]
     hits: int = 0
+    appended: frozenset = frozenset()
+
+
+@dataclass(frozen=True)
+class SketchHit:
+    """A served sketch: the chunks to scan, with the appended-UNKNOWN subset.
+
+    ``chunks`` is what the executor evaluates (sorted, exact-equivalent
+    coverage); ``appended`` lets skip reports count post-append UNKNOWN
+    chunks distinctly (``PieceSkipStats.appended_unknown``) so sketch
+    scan ratios stay comparable under append-heavy workloads.
+    """
+
+    chunks: np.ndarray
+    appended: frozenset = frozenset()
 
 
 class SketchStore:
@@ -256,14 +284,15 @@ class SketchStore:
         params: tuple,
         chunk_rows: int,
         count_stats: bool = True,
-    ) -> np.ndarray | None:
-        """Sorted chunk indices provably covering the new query, or ``None``.
+    ) -> SketchHit | None:
+        """A :class:`SketchHit` provably covering the new query, or ``None``.
 
         Scans the slot's parameter variants for one that dominates
-        ``params`` and returns the smallest such realized set.  With
-        ``count_stats`` (the executor's fast path, not planning probes)
-        the hit/miss lands in the shared cache metrics under kind
-        ``"provenance_sketch"`` and the obs registry.
+        ``params`` and returns the smallest such realized set (with its
+        appended-UNKNOWN subset).  With ``count_stats`` (the executor's
+        fast path, not planning probes) the hit/miss lands in the shared
+        cache metrics under kind ``"provenance_sketch"`` and the obs
+        registry.
         """
         key = self._slot_key(template, anchors, chunk_rows)
         best: _SketchEntry | None = None
@@ -296,7 +325,10 @@ class SketchStore:
                 get_registry().incr("selection.sketch_misses")
         if best is None:
             return None
-        return np.asarray(best.chunks, dtype=np.int64)
+        return SketchHit(
+            chunks=np.asarray(best.chunks, dtype=np.int64),
+            appended=best.appended,
+        )
 
     def record(
         self,
@@ -336,6 +368,9 @@ class SketchStore:
             for entry in entries:
                 if entry.params == params:
                     entry.chunks = chunk_tuple
+                    # A complete evaluation verifies every chunk, so any
+                    # appended-UNKNOWN provisional marks are resolved.
+                    entry.appended = frozenset()
                     break
             else:
                 entries.append(_SketchEntry(params=params, chunks=chunk_tuple))
@@ -366,6 +401,106 @@ class SketchStore:
                     if 0 <= chunk < n_chunks:
                         out[chunk] = count
         return out
+
+    def extend_on_append(
+        self,
+        mapping: dict[int, Any],
+        old_rows: int,
+        new_rows: int,
+    ) -> int:
+        """Re-anchor and extend sketches across an ``append_rows`` swap.
+
+        ``mapping`` maps ``id(old_column) -> new_column`` for the
+        replaced table.  Every slot whose anchors are all in the mapping
+        (and still live) is migrated: the old slot is dropped (the
+        invalidation primitive — the old anchors are about to be
+        invalidated anyway) and a new slot keyed on the new column
+        identities takes its place, with each entry's chunk set rewritten
+        instead of discarded:
+
+        * chunks in the stable prefix (ranges identical under both row
+          counts) keep their recorded relevance verdicts — their rows are
+          byte-identical after ``concat``;
+        * every chunk from the first changed boundary onward is added and
+          marked appended-UNKNOWN: it may hold matching rows (new data,
+          or old data reshuffled across boundaries), so it must be
+          scanned until the next complete evaluation re-records it.
+
+        Dominance serving stays exact under this rewrite, which is the
+        whole point: a retained sketch still proves every *unlisted*
+        chunk holds no matching rows.  Returns the number of slots
+        retained (the ``ingest.sketches_retained`` counter).
+        """
+        retained = 0
+        with self._lock:
+            for key in list(self._slots):
+                template, anchor_ids, chunk_rows = key
+                if not all(a in mapping for a in anchor_ids):
+                    continue
+                slot = self._slots.get(key)
+                if slot is None:
+                    continue
+                if any(ref() is None for ref in slot[0]):
+                    self._drop_slot(key)
+                    continue
+                old_ranges = chunk_ranges(old_rows, chunk_rows)
+                new_ranges = chunk_ranges(new_rows, chunk_rows)
+                first_changed = 0
+                limit = min(len(old_ranges), len(new_ranges))
+                while (
+                    first_changed < limit
+                    and old_ranges[first_changed] == new_ranges[first_changed]
+                ):
+                    first_changed += 1
+                tail = frozenset(range(first_changed, len(new_ranges)))
+                new_anchors = [mapping[a] for a in anchor_ids]
+                new_key = (
+                    template,
+                    tuple(id(a) for a in new_anchors),
+                    chunk_rows,
+                )
+
+                def _on_death(
+                    _ref, key=new_key, store_ref=weakref.ref(self)
+                ):
+                    store = store_ref()
+                    if store is not None:
+                        store._drop_slot(key)
+
+                try:
+                    refs = tuple(
+                        weakref.ref(a, _on_death) for a in new_anchors
+                    )
+                except TypeError:
+                    self._drop_slot(key)
+                    continue
+                entries = [
+                    _SketchEntry(
+                        params=entry.params,
+                        chunks=tuple(
+                            sorted(
+                                {c for c in entry.chunks if c < first_changed}
+                                | tail
+                            )
+                        ),
+                        hits=entry.hits,
+                        appended=frozenset(
+                            c for c in entry.appended if c < first_changed
+                        )
+                        | tail,
+                    )
+                    for entry in slot[2]
+                ]
+                hit_counts = dict(slot[3])
+                self._drop_slot(key)
+                new_ids = tuple(id(a) for a in new_anchors)
+                self._slots[new_key] = (refs, new_ids, entries, hit_counts)
+                for anchor_id in new_ids:
+                    self._anchor_slots.setdefault(anchor_id, set()).add(
+                        new_key
+                    )
+                retained += 1
+        return retained
 
     def invalidate_object(self, obj: Any) -> None:
         """Drop every slot anchored on ``obj`` (id-reuse guarded)."""
@@ -414,6 +549,24 @@ def _on_invalidation(obj: Any) -> None:
 
 
 add_invalidation_listener(_on_invalidation)
+
+
+def _on_append(event: AppendEvent) -> None:
+    """Append listener: retain sketches across the table swap.
+
+    Fires before the old table is invalidated, so slots still anchored
+    on the old columns can be migrated onto the new ones; the
+    invalidation that follows then finds nothing left to drop.
+    """
+    mapping = {id(old): new for _name, old, new in event.columns}
+    retained = _GLOBAL_STORE.extend_on_append(
+        mapping, event.old_rows, event.new_rows
+    )
+    if retained:
+        get_registry().incr("ingest.sketches_retained", retained)
+
+
+add_append_listener(_on_append)
 
 
 def sketch_anchors(table: Table, predicate: Predicate) -> list:
@@ -687,7 +840,7 @@ def plan_chunk_selection(
         )
         if sketched is not None:
             in_sketch = np.zeros(n_chunks, dtype=bool)
-            in_sketch[sketched] = True
+            in_sketch[sketched.chunks] = True
             eligible_mask &= in_sketch
 
     eligible = np.flatnonzero(eligible_mask)
@@ -754,6 +907,7 @@ __all__ = [
     "ChunkSelectionPlan",
     "SCORE_FLOOR",
     "SKETCH_SLOT_CAPACITY",
+    "SketchHit",
     "SketchStore",
     "dominates",
     "get_sketch_store",

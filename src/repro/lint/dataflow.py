@@ -42,7 +42,9 @@ from dataclasses import dataclass, field
 from repro.lint.callgraph import CallGraph, Edge
 from repro.lint.project import FunctionInfo, ProjectIndex
 
-#: Calls that (directly) invalidate derived state.
+#: Calls that (directly) invalidate derived state.  ``notify_append`` is
+#: the incremental counterpart: its AppendEvent listeners extend the
+#: derived structures for the appended tail, keeping caches coherent.
 INVALIDATING_CALLS: frozenset[str] = frozenset(
     {
         "bump_plan_version",
@@ -51,6 +53,7 @@ INVALIDATING_CALLS: frozenset[str] = frozenset(
         "invalidate_all",
         "release_for",
         "release_all",
+        "notify_append",
     }
 )
 

@@ -42,13 +42,27 @@ MUTATED_ATTRS = frozenset(
         "_metas",
         "_slots",
         "_anchor_slots",
+        # Raw column/bitmask payloads: growing ``Column.data`` or
+        # ``BitmaskVector.words`` in place changes every derived chunk
+        # summary without changing the anchor identity, so the write must
+        # be announced — either by invalidating, or by emitting the
+        # structured append event (``notify_append``) whose listeners
+        # extend the derived structures for the new tail.
+        "data",
+        "words",
     }
 )
 
 #: Method names whose call counts as discharging the contract.
 #: ``_drop_slot`` is the sketch store's internal invalidation primitive —
 #: every ``invalidate_object``/anchor-death path funnels through it.
-INVALIDATING_CALLS = frozenset({"bump_plan_version", "_report", "_drop_slot"})
+#: ``notify_append`` is the *incremental* discharge: it broadcasts an
+#: :class:`~repro.engine.cache.AppendEvent` whose listeners migrate or
+#: extend every derived structure for the appended tail, which keeps the
+#: cache coherent exactly like an invalidation does (just cheaper).
+INVALIDATING_CALLS = frozenset(
+    {"bump_plan_version", "_report", "_drop_slot", "notify_append"}
+)
 
 #: ``path::symbol`` entries reviewed as safe without an invalidation.
 #: Every entry must say *why* the mutation cannot leave stale cache
@@ -70,14 +84,46 @@ ALLOWLIST: dict[str, str] = {
         "validation + the cache invalidation listener drop them on any "
         "mutation"
     ),
+    # The append-event migration itself: rewrites each surviving slot
+    # from the old anchors to the new table's objects, conservatively
+    # marking every chunk past the first changed boundary
+    # appended-UNKNOWN (must-scan).  It *is* the coherence step the rule
+    # looks for — there is no staler state to invalidate afterwards, and
+    # the subsequent invalidate_table(old) only ever sees the already
+    # dropped old keys.
+    "repro/engine/selection.py::SketchStore.extend_on_append": (
+        "the AppendEvent migration: drops the old-anchored slot and "
+        "re-records a tail-UNKNOWN rewrite on the new anchors; coherence "
+        "is the function's own postcondition"
+    ),
+    # Worker-side reassembly of a column from shared-memory arena parts:
+    # the object is created by Column.__new__ on the line above, so the
+    # identity-keyed caches cannot hold entries for it yet.
+    "repro/engine/column.py::column_from_parts": (
+        "populates a brand-new Column object (Column.__new__ above); "
+        "identity-keyed caches have no entries for it"
+    ),
 }
+
+
+#: Payload attributes where only a plain *rebind* is monitored.  Element
+#: writes into the arrays (``col.data[i] = v``, ``vector.words[...] |= m``)
+#: are RL008's concern (writes into published arrays bypass zone maps);
+#: RL001 watches for the array being *replaced* — the grow-by-reassignment
+#: idiom that leaves every identity-anchored summary describing the old
+#: payload.
+REBIND_ONLY_ATTRS = frozenset({"data", "words"})
 
 
 def _attr_target(node: ast.AST) -> str | None:
     """The monitored attribute a store targets, unwrapping subscripts."""
+    subscripted = False
     while isinstance(node, ast.Subscript):
+        subscripted = True
         node = node.value
     if isinstance(node, ast.Attribute) and node.attr in MUTATED_ATTRS:
+        if subscripted and node.attr in REBIND_ONLY_ATTRS:
+            return None
         return node.attr
     return None
 

@@ -23,8 +23,9 @@ from repro.engine.database import Database
 from repro.engine.executor import GroupedResult, execute
 from repro.engine.expressions import Query
 from repro.engine.parallel import ExecutionOptions, resolve_options
+from repro.engine.table import Table
 from repro.engine.zonemap import PieceSkipStats, SkipReport
-from repro.errors import RuntimePhaseError
+from repro.errors import RuntimePhaseError, SchemaError
 from repro.experiments.reporting import format_table
 from repro.obs.profile import QueryProfile
 from repro.obs.registry import get_registry
@@ -231,6 +232,38 @@ class AQPSession:
                 "no AQP technique installed; call session.install(...) first"
             )
         return self.technique
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def append_rows(self, name: str, batch: Table) -> Table:
+        """Append ``batch`` to table ``name``, maintaining derived state.
+
+        Routes through :meth:`Database.append_rows` with this session's
+        options, so under ``ExecutionOptions.incremental_appends`` (the
+        default) zone maps, word summaries, provenance sketches, and
+        shared-memory segments are extended/retired incrementally rather
+        than rebuilt.  When the appended table is the fact table and the
+        installed technique advertises incremental maintenance
+        (``supports_incremental_maintenance()``), the batch is also fed
+        to the technique's ``insert_rows`` so its samples keep tracking
+        the base data without a rebuild.  Memoised rewrite plans
+        revalidate against the technique's plan version on the next
+        lookup, so no memo clearing is needed here.
+        """
+        merged = self.db.append_rows(name, batch, options=self.options)
+        technique = self.technique
+        if technique is not None:
+            try:
+                is_fact = name == self.db.fact_table.name
+            except SchemaError:
+                is_fact = False
+            supports = getattr(
+                technique, "supports_incremental_maintenance", None
+            )
+            if is_fact and callable(supports) and supports():
+                technique.insert_rows(batch)
+        return merged
 
     # ------------------------------------------------------------------
     # Querying

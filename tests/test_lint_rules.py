@@ -122,6 +122,105 @@ class TestRL001MutationWithoutInvalidation:
         assert run_rule("RL001", source, "repro/engine/selection.py") == []
 
 
+class TestRL001AppendVocabulary:
+    """The incremental-append vocabulary (PR 9).
+
+    Raw payload growth — rebinding ``column.data`` / ``vector.words`` to
+    a grown array — leaves every identity-anchored chunk summary
+    describing the old payload, so it must be announced: either by an
+    ``invalidate*`` call or by emitting the structured append event
+    (``notify_append``), whose listeners extend the summaries instead.
+    """
+
+    RAW_DATA_GROW = """
+        class Loader:
+            def grow(self, column, tail):
+                column.data = np.concatenate([column.data, tail])
+    """
+
+    RAW_WORDS_GROW = """
+        class Loader:
+            def grow(self, vector, rows):
+                vector.words = np.vstack([vector.words, rows])
+    """
+
+    def test_raw_data_grow_without_notify_fires(self):
+        findings = run_rule(
+            "RL001", self.RAW_DATA_GROW, "repro/engine/loader.py"
+        )
+        assert [f.symbol for f in findings] == ["Loader.grow"]
+        assert "'data'" in findings[0].message
+
+    def test_raw_words_grow_without_notify_fires(self):
+        findings = run_rule(
+            "RL001", self.RAW_WORDS_GROW, "repro/engine/loader.py"
+        )
+        assert [f.symbol for f in findings] == ["Loader.grow"]
+
+    def test_notify_append_discharges_data_grow(self):
+        source = """
+            class Loader:
+                def grow(self, column, tail, event):
+                    column.data = np.concatenate([column.data, tail])
+                    notify_append(event)
+        """
+        assert run_rule("RL001", source, "repro/engine/loader.py") == []
+
+    def test_invalidate_also_discharges_data_grow(self):
+        source = """
+            class Loader:
+                def grow(self, column, tail):
+                    column.data = np.concatenate([column.data, tail])
+                    self.cache.invalidate_object(column)
+        """
+        assert run_rule("RL001", source, "repro/engine/loader.py") == []
+
+    def test_table_swap_with_notify_append_alone_passes(self):
+        # notify_append is a full-fledged discharge: its listeners keep
+        # derived structures coherent without a blanket invalidation.
+        source = """
+            class Database:
+                def append_rows(self, name, merged, event):
+                    notify_append(event)
+                    self._tables[name] = merged
+        """
+        assert run_rule("RL001", source, "repro/engine/database.py") == []
+
+    def test_element_write_into_payload_is_rl008_territory(self):
+        # Writing *into* the array (not rebinding it) is the published-
+        # array hazard RL008 owns; RL001 must not double-report it.
+        source = """
+            class Mask:
+                def set_bit(self, rows, bit):
+                    self.words[rows, bit] |= 1
+        """
+        assert run_rule("RL001", source, "repro/engine/bitmask.py") == []
+
+    def test_column_from_parts_is_allowlisted(self):
+        # Worker-side reassembly populates a brand-new object; identity-
+        # keyed caches cannot hold entries for it (reviewed allowlist).
+        source = """
+            def column_from_parts(kind, data, dictionary):
+                column = Column.__new__(Column)
+                column.data = data
+                return column
+        """
+        assert run_rule("RL001", source, "repro/engine/column.py") == []
+
+    def test_rl013_notify_append_covers_caller_chain(self):
+        # Interprocedurally, a caller that emits the append event covers
+        # its helper's raw growth, same as a caller-side invalidation.
+        source = """
+            class Loader:
+                def _grow(self, column, tail):
+                    column.data = np.concatenate([column.data, tail])
+                def append(self, column, tail, event):
+                    self._grow(column, tail)
+                    notify_append(event)
+        """
+        assert run_rule("RL013", source, "repro/engine/loader.py") == []
+
+
 class TestRL002ScaleDiscipline:
     def test_fires_on_sampled_piece_with_unit_scale(self):
         source = """

@@ -186,7 +186,8 @@ class TestSketchStore:
         store.record(self.KEY, [col], (0, 100), 4, [0, 1, 2, 3])
         store.record(self.KEY, [col], (10, 50), 4, [1, 2])
         got = store.lookup(self.KEY, [col], (20, 40), 4, count_stats=False)
-        assert got.tolist() == [1, 2]
+        assert got.chunks.tolist() == [1, 2]
+        assert got.appended == frozenset()
         # Non-dominated parameters miss.
         assert (
             store.lookup(self.KEY, [col], (0, 200), 4, count_stats=False)
@@ -339,7 +340,11 @@ class TestSketchInvalidation:
         assert stats.sketch_hit  # the sketch was live before the append
 
         # The appended rows match the predicate but land in brand-new
-        # chunks the recorded sketch has never seen.
+        # chunks the recorded sketch has never seen.  The incremental
+        # append path *retains* the sketch, migrated onto the new table's
+        # columns, with every chunk past the first changed boundary
+        # marked appended-UNKNOWN (must-scan) — so the hit still serves
+        # an exact answer.
         batch = Table(
             "t",
             {
@@ -352,7 +357,8 @@ class TestSketchInvalidation:
         after = execute(
             db, parse_query(NARROW_SQL), options=options, skip_stats=after_stats
         )
-        assert not after_stats.sketch_hit
+        assert after_stats.sketch_hit
+        assert after_stats.appended_unknown > 0
         assert after.rows[()][0] == float(161 + 100)  # 120..280 plus appended
 
         # Identical to a database built directly from the final data.
