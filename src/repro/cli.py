@@ -373,6 +373,84 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the stats as strict JSON to PATH ('-' for stdout)",
     )
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "serve a stored database to concurrent clients over the JSON "
+            "protocol (docs/serving.md)"
+        ),
+    )
+    serve.add_argument(
+        "database", type=Path, help="directory written by repro.storage"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="address to bind"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="port to bind (0 picks a free port)",
+    )
+    serve.add_argument(
+        "--base-rate",
+        type=float,
+        default=0.04,
+        help="base sampling rate for the installed technique",
+    )
+    serve.add_argument(
+        "--exact-only",
+        action="store_true",
+        help="skip technique installation; serve exact queries only",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=16,
+        help=(
+            "concurrent queries admitted before new ones are rejected "
+            "with 'overloaded' (HTTP 429)"
+        ),
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "default per-request deadline applied when a request carries "
+            "no timeout of its own"
+        ),
+    )
+    query = subparsers.add_parser(
+        "query",
+        help="send one SQL query to a running `repro serve` instance",
+    )
+    query.add_argument("sql", help="SQL aggregation query text")
+    query.add_argument(
+        "--host", default="127.0.0.1", help="server address"
+    )
+    query.add_argument(
+        "--port", type=int, default=8642, help="server port"
+    )
+    query.add_argument(
+        "--mode",
+        choices=("exact", "approx", "both"),
+        default="approx",
+        help="execution mode requested from the server",
+    )
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="server-side per-request deadline",
+    )
+    query.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw response object instead of a rendered table",
+    )
     return parser
 
 
@@ -395,6 +473,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_sql(args)
     if args.command == "stats":
         return _run_stats(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "query":
+        return _run_query(args)
     if args.command == "list":
         rows = [[fid, desc] for fid, (desc, _, _) in FIGURES.items()]
         print(format_table(["id", "description"], rows))
@@ -569,6 +651,113 @@ def _run_stats(args) -> int:
             {"registry": registry_snapshot, "cache": cache_snapshot},
             args.json,
         )
+    return 0
+
+
+def _run_serve(args) -> int:
+    """Serve a stored database to concurrent clients until interrupted."""
+    from repro.core.smallgroup import SmallGroupConfig, SmallGroupSampling
+    from repro.errors import ReproError
+    from repro.middleware.session import AQPSession
+    from repro.server import ServerConfig, make_server
+    from repro.storage.io import load_database
+
+    try:
+        db = load_database(args.database)
+    except ReproError as error:
+        print(f"cannot load database from {args.database}: {error}")
+        return 1
+    session = AQPSession(db)
+    try:
+        if not args.exact_only:
+            print(
+                f"pre-processing samples (base rate {args.base_rate:g}) ..."
+            )
+            session.install(
+                SmallGroupSampling(SmallGroupConfig(base_rate=args.base_rate))
+            )
+        server = make_server(
+            session,
+            host=args.host,
+            port=args.port,
+            config=ServerConfig(
+                max_inflight=args.max_inflight,
+                default_deadline=args.deadline,
+            ),
+        )
+    except ReproError as error:
+        session.close()
+        print(f"cannot start server: {error}")
+        return 1
+    host, port = server.server_address[:2]
+    print(
+        f"serving {args.database} on http://{host}:{port} "
+        f"(max_inflight={args.max_inflight}"
+        + (
+            f", default deadline {args.deadline:g}s"
+            if args.deadline is not None
+            else ""
+        )
+        + "); Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down ...")
+    finally:
+        server.shutdown()
+        server.server_close()
+        session.close()
+    return 0
+
+
+def _run_query(args) -> int:
+    """Send one query to a running server and render the answer."""
+    from repro.client import ReproClient
+    from repro.errors import ServerError
+
+    with ReproClient(host=args.host, port=args.port) as client:
+        try:
+            response = client.query(
+                args.sql, mode=args.mode, timeout=args.timeout
+            )
+        except ServerError as error:
+            code = f" [{error.code}]" if error.code else ""
+            print(f"query failed{code}: {error}")
+            return 1
+    if args.json:
+        _write_json(response, "-")
+        return 0
+    answer = response.get("answer", {})
+    for kind in ("approx", "exact"):
+        part = answer.get(kind)
+        if part is None:
+            continue
+        headers = list(part["group_columns"]) + list(part["aggregate_names"])
+        rows = [
+            list(group["key"])
+            + list(group.get("estimates", group.get("values", [])))
+            for group in part["groups"]
+        ]
+        label = (
+            f"approximate answer ({part.get('technique', '')}, "
+            f"{part['n_groups']} groups)"
+            if kind == "approx"
+            else f"exact answer ({part['n_groups']} groups)"
+        )
+        print(label)
+        print(format_table(headers, rows))
+    timings = response.get("timings", {})
+    parts = [
+        f"{name}={timings[key]:.4f}s"
+        for name, key in (
+            ("approx", "approx_seconds"),
+            ("exact", "exact_seconds"),
+        )
+        if timings.get(key) is not None
+    ]
+    if parts:
+        print("timings: " + " ".join(parts))
     return 0
 
 

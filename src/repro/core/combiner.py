@@ -33,6 +33,7 @@ from repro.engine.executor import (
     aggregate_table,
     order_limit_groups,
 )
+from repro.engine.deadline import Deadline
 from repro.engine.expressions import AggFunc, AggregateSpec, Query
 from repro.engine.parallel import (
     ExecutionOptions,
@@ -157,6 +158,7 @@ def _execute_one_piece(
         ExecutionOptions,
         Span,
         "ChunkSelectionPlan | None",
+        "Deadline | None",
     ],
 ):
     """Aggregate one rewritten piece (the unit of work scattered to the
@@ -169,8 +171,17 @@ def _execute_one_piece(
     allocated per piece and owned by this task alone.  The selection
     plan (if any) was computed serially in the parent before the
     scatter, so the drawn chunk subset never depends on pool timing.
+
+    The deadline (if any) is checked once at the head of the task: an
+    expired request stops starting new pieces (serial backend: the
+    remaining pieces never run; thread backend: queued tasks fail fast),
+    and the raise propagates through the gather.  Reading the deadline
+    is a pure, answer-neutral operation — a piece either runs
+    identically to an unbounded run or raises.
     """
-    piece, exec_query, stats, options, piece_span, plan = item
+    piece, exec_query, stats, options, piece_span, plan, deadline = item
+    if deadline is not None:
+        deadline.check(f"piece {stats.description}")
     with piece_span:
         return aggregate_table(
             piece.table,
@@ -282,7 +293,15 @@ def _scatter_pieces_to_processes(
 
     arena = procpool.get_arena()
     payloads = []
-    for _idx, (piece, exec_query, stats, _options, _span, plan) in submitted:
+    for _idx, (
+        piece,
+        exec_query,
+        stats,
+        _options,
+        _span,
+        plan,
+        _deadline,
+    ) in submitted:
         payloads.append(
             _PiecePayload(
                 table=arena.publish_table(
@@ -311,7 +330,10 @@ def _scatter_pieces_to_processes(
         _execute_piece_remote, payloads, options, span=span
     )
     results = []
-    for (_idx, (_piece, _query, stats, _options, piece_span, _plan)), (
+    for (
+        _idx,
+        (_piece, _query, stats, _options, piece_span, _plan, _deadline),
+    ), (
         result,
         remote_stats,
         seconds,
@@ -344,6 +366,7 @@ def execute_pieces(
     emit_sql: bool = True,
     options: ExecutionOptions | None = None,
     span: Span = NULL_SPAN,
+    deadline: Deadline | None = None,
 ) -> ApproxAnswer:
     """Execute rewritten pieces and combine them into an answer.
 
@@ -361,6 +384,13 @@ def execute_pieces(
     child; the span tree rides on the answer as ``ApproxAnswer.trace``.
     Spans are write-only in this layer (RL009), so answers are
     byte-identical with profiling on or off.
+
+    ``deadline`` (if any) is enforced at piece granularity: checked in
+    the serial pre-scatter loop, at the head of every piece task on the
+    serial/thread backends, in the parent before a process scatter, and
+    before the combine.  An expired deadline raises
+    :class:`~repro.errors.DeadlineExceeded`; there are no partial
+    answers, so determinism guarantees are unaffected.
     """
     if not pieces:
         raise RuntimePhaseError("rewritten query has no pieces")
@@ -415,8 +445,10 @@ def execute_pieces(
     if options.chunk_selection:
         piece_options = replace(options, chunk_selection=False)
     piece_results: list[GroupedResult | None] = [None] * len(exec_pieces)
-    submitted: list[tuple[int, tuple[SamplePiece, Query, PieceSkipStats, ExecutionOptions, Span, ChunkSelectionPlan | None]]] = []
+    submitted: list[tuple[int, tuple[SamplePiece, Query, PieceSkipStats, ExecutionOptions, Span, ChunkSelectionPlan | None, Deadline | None]]] = []
     for idx, (piece, exec_query) in enumerate(exec_pieces):
+        if deadline is not None:
+            deadline.check("piece planning")
         description = piece.description or piece.table.name
         stats = PieceSkipStats(
             description=description,
@@ -443,7 +475,18 @@ def execute_pieces(
         if options.chunk_selection and not piece.zero_variance:
             plan = plan_chunk_selection(piece.table, exec_query.where, options)
         submitted.append(
-            (idx, (piece, exec_query, stats, piece_options, piece_span, plan))
+            (
+                idx,
+                (
+                    piece,
+                    exec_query,
+                    stats,
+                    piece_options,
+                    piece_span,
+                    plan,
+                    deadline,
+                ),
+            )
         )
     use_processes = options.uses_processes and len(submitted) > 1
     if use_processes:
@@ -451,6 +494,11 @@ def execute_pieces(
 
         use_processes = not procpool.in_worker()
     if use_processes:
+        # Process workers never see the deadline (their clocks race the
+        # parent's by scheduling delays); the parent checks around the
+        # scatter instead.
+        if deadline is not None:
+            deadline.check("process scatter")
         gathered = _scatter_pieces_to_processes(submitted, options, span)
     else:
         gathered = parallel_map(
@@ -464,6 +512,8 @@ def execute_pieces(
     registry = get_registry()
     registry.incr("combiner.pieces_executed", len(submitted))
     registry.incr("combiner.pieces_pruned", len(exec_pieces) - len(submitted))
+    if deadline is not None:
+        deadline.check("combine")
     combine_started = time.perf_counter()
 
     # Deterministic combine: fold partials in piece-index order.

@@ -44,6 +44,91 @@ from typing import Any
 #: Sentinel distinguishing "no cached value" from a cached ``None``.
 MISS = object()
 
+
+class _Flight:
+    """One in-progress computation shared by a leader and its followers."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Per-key in-flight deduplication: N concurrent callers, one compute.
+
+    ``do(key, fn)`` guarantees that while one call for ``key`` is in
+    progress, every concurrent call for the same key *waits for that
+    result* instead of recomputing it.  The first caller (the leader)
+    runs ``fn`` outside any lock; followers block on the leader's event
+    and share its value.  If the leader raises, its followers retry —
+    one of them becomes the new leader — so an error never poisons the
+    key, and the leader's exception propagates only to the caller that
+    computed.
+
+    This is the primitive behind the execution cache's cold-miss
+    coalescing, the session parse/plan memos, and the serving layer's
+    in-flight request dedup.  Keys must be hashable; ``fn`` must not
+    recursively call ``do`` with the same key on the same thread (the
+    second call would wait on itself).
+
+    ``do`` returns ``(value, leader)`` — ``leader`` tells callers (and
+    their metrics) whether this thread computed or coalesced.
+
+    ``wait_timeout`` bounds how long a follower waits before retrying
+    leadership; callers with deadlines pass the remaining budget and
+    check it between rounds via ``deadline_check``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[Hashable, _Flight] = {}
+
+    def do(
+        self,
+        key: Hashable,
+        fn: Callable[[], Any],
+        deadline_check: Callable[[], None] | None = None,
+    ) -> tuple[Any, bool]:
+        """Compute ``fn()`` for ``key``, coalescing concurrent callers."""
+        while True:
+            if deadline_check is not None:
+                deadline_check()
+            with self._lock:
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _Flight()
+                    self._inflight[key] = flight
+                    is_leader = True
+                else:
+                    is_leader = False
+            if is_leader:
+                try:
+                    flight.value = fn()
+                except BaseException as error:
+                    flight.error = error
+                    raise
+                finally:
+                    with self._lock:
+                        self._inflight.pop(key, None)
+                    flight.event.set()
+                return flight.value, True
+            # Follower: wait out the leader, bounded so a deadline-bearing
+            # caller can re-check between rounds.
+            flight.event.wait(timeout=0.05 if deadline_check else None)
+            if not flight.event.is_set():
+                continue
+            if flight.error is None:
+                return flight.value, False
+            # The leader failed; loop and race to become the new leader.
+
+    def inflight_count(self) -> int:
+        """Number of keys currently being computed (tests, stats)."""
+        with self._lock:
+            return len(self._inflight)
+
 #: Callbacks fired (outside the cache lock) whenever an object is
 #: explicitly invalidated.  The shared-memory column arena
 #: (:mod:`repro.engine.procpool`) subscribes so that the buffers of a
@@ -145,6 +230,9 @@ class CacheMetrics:
 
     hits: dict[str, int] = field(default_factory=dict)
     misses: dict[str, int] = field(default_factory=dict)
+    #: Lookups that missed but were served by another thread's in-flight
+    #: computation (single-flight coalescing) instead of recomputing.
+    coalesced: dict[str, int] = field(default_factory=dict)
     invalidations: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -159,6 +247,11 @@ class CacheMetrics:
         """Count one cache miss for ``kind``."""
         with self._lock:
             self.misses[kind] = self.misses.get(kind, 0) + 1
+
+    def record_coalesced(self, kind: str) -> None:
+        """Count one miss that was served by an in-flight leader."""
+        with self._lock:
+            self.coalesced[kind] = self.coalesced.get(kind, 0) + 1
 
     def record_invalidations(self, count: int) -> None:
         """Count ``count`` invalidated entries."""
@@ -208,11 +301,13 @@ class CacheMetrics:
             return {
                 "hits": dict(self.hits),
                 "misses": dict(self.misses),
+                "coalesced": dict(self.coalesced),
                 "invalidations": self.invalidations,
                 "by_kind": {
                     k: {
                         "hits": self.hits.get(k, 0),
                         "misses": self.misses.get(k, 0),
+                        "coalesced": self.coalesced.get(k, 0),
                         "hit_rate": self.hits.get(k, 0)
                         / (self.hits.get(k, 0) + self.misses.get(k, 0)),
                     }
@@ -225,6 +320,7 @@ class CacheMetrics:
         with self._lock:
             self.hits.clear()
             self.misses.clear()
+            self.coalesced.clear()
             self.invalidations = 0
 
 
@@ -241,10 +337,13 @@ class ExecutionCache:
     own lock, so concurrent sessions (and the parallel piece executor)
     can share the process-wide cache without lost updates or torn
     entries.  The lock is *never* held while a value is computed:
-    :meth:`get_or_compute` releases it between the miss and the put, so
-    two threads missing the same key may both compute it (a benign
-    stampede — the work is idempotent and last-put-wins) rather than one
-    thread blocking the whole cache behind an expensive ``numpy`` call.
+    :meth:`get_or_compute` releases it between the miss and the put, and
+    concurrent misses on the same key are **single-flighted** through a
+    per-key :class:`SingleFlight` — the first thread computes, every
+    concurrent caller for the same key waits for that result instead of
+    recomputing it (the pre-PR-10 behaviour was a documented "benign
+    stampede, last put wins"; N clients hitting one cold query now
+    compute once, not N times).  Distinct keys never wait on each other.
     The lock is re-entrant because weakref death callbacks call
     :meth:`_remove_key` and garbage collection can trigger them while
     the owning thread already holds the lock.
@@ -254,6 +353,7 @@ class ExecutionCache:
         self.enabled = enabled
         self.metrics = CacheMetrics()
         self._lock = threading.RLock()
+        self._flight = SingleFlight()
         # key -> (anchor weakrefs, anchor ids, value)
         self._entries: dict[tuple, tuple[tuple, tuple[int, ...], Any]] = {}
         # id(anchor) -> keys anchored on it, for invalidation / GC pruning
@@ -344,14 +444,28 @@ class ExecutionCache:
     ):
         """Cached value for the key, computing and storing it on a miss.
 
-        The lock is not held across ``compute()``: concurrent misses on
-        the same key stampede (each computes, last put wins) instead of
-        serialising every cache user behind one computation.
+        The cache lock is not held across ``compute()``, and concurrent
+        misses on the same key are single-flighted: exactly one caller
+        computes (and puts), every concurrent caller for the same key
+        blocks on that computation and shares its value (counted under
+        ``metrics.coalesced``).  Distinct keys proceed independently, so
+        one expensive computation never serialises unrelated cache
+        users.  The caller's ``compute`` must not re-enter the cache
+        with the same key.
         """
         value = self.get(kind, anchors, extra)
-        if value is MISS:
-            value = compute()
-            self.put(kind, anchors, value, extra)
+        if value is not MISS:
+            return value
+        key = self._key(kind, anchors, extra)
+
+        def _compute_and_put() -> Any:
+            computed = compute()
+            self.put(kind, anchors, computed, extra)
+            return computed
+
+        value, leader = self._flight.do(key, _compute_and_put)
+        if not leader:
+            self.metrics.record_coalesced(kind)
         return value
 
     def entries_for_anchor(
@@ -448,6 +562,7 @@ __all__ = [
     "AppendEvent",
     "CacheMetrics",
     "ExecutionCache",
+    "SingleFlight",
     "add_append_listener",
     "add_invalidation_listener",
     "execution_cache_metrics",

@@ -66,6 +66,39 @@ class RuntimePhaseError(ReproError):
     """The runtime phase could not answer a query from the built samples."""
 
 
+class DeadlineExceeded(RuntimePhaseError):
+    """A per-request deadline expired before execution finished.
+
+    Raised by the deadline checkpoints threaded through the middleware
+    session and piece execution (see :mod:`repro.engine.deadline`), and
+    mapped to the ``deadline_exceeded`` wire error by the serving layer.
+    """
+
+
+class ServerError(ReproError):
+    """A serving-layer request failed (transport, protocol, or remote).
+
+    Attributes
+    ----------
+    code:
+        Machine-readable error code from ``docs/serving.md`` (e.g.
+        ``"overloaded"``, ``"deadline_exceeded"``), or ``None`` when the
+        failure happened before a response was decoded.
+    status:
+        HTTP status of the response, or ``None`` for transport errors.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str | None = None,
+        status: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.status = status
+
+
 class WorkloadError(ReproError):
     """A workload specification is invalid for the target database."""
 

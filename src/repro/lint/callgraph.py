@@ -51,6 +51,29 @@ SUBMIT_BACKENDS: dict[str, str] = {
     "process_map_row_chunks": "process",
 }
 
+#: The serving package: its request entry points run on HTTP handler
+#: threads (``ThreadingHTTPServer`` spawns one per connection), so they
+#: are worker context even though no pool scatter is statically visible.
+SERVER_PATH_PREFIX = "repro/server/"
+
+#: Backend tag for synthesized handler-thread submit edges.  A distinct
+#: tag (not ``"thread"``) keeps reports honest about *which* concurrency
+#: source reaches a function.
+SERVER_BACKEND = "server-thread"
+
+
+def is_server_handler(path: str, name: str) -> bool:
+    """Whether ``path::name`` is a serving-layer request entry point.
+
+    Covers the HTTP verbs (``do_GET``/``do_POST``), the transport-
+    independent dispatcher (``handle``), and the per-op handlers it
+    reaches through a bound-method table the call graph cannot resolve
+    statically (``_handle_query`` and friends).
+    """
+    return path.startswith(SERVER_PATH_PREFIX) and (
+        name.startswith(("do_", "_handle_")) or name == "handle"
+    )
+
 #: Bare method names whose by-name fallback would link to builtin
 #: container/str methods all over the tree — resolved only via typed
 #: receivers, never by name.
@@ -131,6 +154,24 @@ def build_call_graph(project: ProjectIndex) -> CallGraph:
             if project.function_for_node(ctx, node) is not None:
                 continue
             _link_call(project, graph, module, src, ctx.path, node, types={})
+    # Serving-layer handler threads: synthesize a submit edge per request
+    # entry point (see is_server_handler), so worker-context reachability
+    # covers everything a concurrent HTTP handler can execute.
+    for qualname in sorted(project.functions):
+        info = project.functions[qualname]
+        if isinstance(info.node, ast.Lambda):
+            continue
+        if is_server_handler(info.path, info.name):
+            graph.add(
+                Edge(
+                    f"{info.module}.<module>",
+                    qualname,
+                    "submit",
+                    SERVER_BACKEND,
+                    info.path,
+                    info.node.lineno,
+                )
+            )
     return graph
 
 
@@ -423,9 +464,12 @@ def _dotted(node: ast.AST) -> str | None:
 
 __all__ = [
     "NAME_FALLBACK_BLACKLIST",
+    "SERVER_BACKEND",
+    "SERVER_PATH_PREFIX",
     "SUBMIT_BACKENDS",
     "CallGraph",
     "Edge",
     "UnresolvedSubmit",
     "build_call_graph",
+    "is_server_handler",
 ]

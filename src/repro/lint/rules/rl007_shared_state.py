@@ -34,6 +34,7 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterable
 
+from repro.lint.callgraph import is_server_handler
 from repro.lint.core import FileContext, Finding, Rule, register
 
 #: The pool modules: every function here is in scope.
@@ -42,8 +43,12 @@ POOL_MODULES = (
     "repro/engine/procpool.py",
 )
 
-#: Files whose pool-submitted functions carry the purity contract.
-SCOPE_PREFIXES = ("repro/engine/", "repro/middleware/")
+#: Files whose pool-submitted functions carry the purity contract.  The
+#: serving package is in scope because its request entry points run on
+#: HTTP handler threads (one per connection) — the same shared-address-
+#: space races as pool tasks; those entry points are scanned as roots
+#: directly (see ``is_server_handler``).
+SCOPE_PREFIXES = ("repro/engine/", "repro/middleware/", "repro/server/")
 SCOPE_FILES = (
     "repro/core/smallgroup.py",
     "repro/core/combiner.py",
@@ -235,6 +240,9 @@ class SharedStateInPoolTask(Rule):
                 # the stores (the same argument RL008 encodes).
                 (ctx.path in POOL_MODULES and node.name != "__init__")
                 or node.name in names
+                # Serving request entry points run on HTTP handler
+                # threads — same purity contract as pool tasks.
+                or is_server_handler(ctx.path, node.name)
             ):
                 roots.append(node)
 

@@ -74,6 +74,12 @@ ALLOWLIST: dict[str, str] = {
         "assembles a Column it just created with __new__; no zone map "
         "can be anchored on an object that has never been visible"
     ),
+    # ``flight.event.set()`` is a threading.Event wake-up, not a mask
+    # write; SingleFlight holds no array storage at all.
+    "repro/engine/cache.py::SingleFlight.do": (
+        "calls threading.Event.set() to release coalesced waiters; no "
+        "summarised storage is involved"
+    ),
 }
 
 

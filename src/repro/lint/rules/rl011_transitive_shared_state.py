@@ -28,6 +28,7 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterable
 
+from repro.lint.callgraph import is_server_handler
 from repro.lint.core import Finding, Rule, register
 from repro.lint.rules.rl007_shared_state import (
     POOL_MODULES,
@@ -45,6 +46,24 @@ ALLOWLIST: dict[str, str] = {
     # __init__ exemption (and as RL008's entry for this function).
     "repro/engine/column.py::column_from_parts": (
         "mutates only the Column it just constructed, pre-publication"
+    ),
+    # The serving append path (the only server-thread chain that reaches
+    # these) holds AQPServer's writer-preferring RW lock exclusively:
+    # _handle_append wraps session.append_rows in write_locked(), so no
+    # handler-thread query (they take the read side) and no concurrent
+    # append can interleave with these catalog/sample mutations.  Real
+    # pool scatters never reach them — appends are serial-head work.
+    "repro/engine/database.py::Database.append_rows": (
+        "server-thread reachability only; serialized behind the "
+        "serving layer's exclusive write lock (AQPServer._rw)"
+    ),
+    "repro/core/smallgroup.py::SmallGroupSampling.insert_rows": (
+        "server-thread reachability only; serialized behind the "
+        "serving layer's exclusive write lock (AQPServer._rw)"
+    ),
+    "repro/core/smallgroup.py::SmallGroupSampling._extend_reduced_dimensions": (
+        "server-thread reachability only; serialized behind the "
+        "serving layer's exclusive write lock (AQPServer._rw)"
     ),
 }
 
@@ -70,6 +89,8 @@ class TransitiveSharedStateMutation(Rule):
             direct_names, _ = _submitted_functions(info.ctx.nodes(ast.Call))
             if info.name in direct_names:
                 continue  # RL007 covers directly submitted functions
+            if is_server_handler(info.path, info.name):
+                continue  # RL007 scans serving entry points as roots
             if f"{info.path}::{info.symbol}" in ALLOWLIST:
                 continue
             backends = analysis.worker_context[qualname]

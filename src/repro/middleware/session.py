@@ -18,14 +18,15 @@ from dataclasses import dataclass, field
 from repro.core.answer import ApproxAnswer
 from repro.core.combiner import execute_pieces
 from repro.core.interfaces import AQPTechnique, PreprocessReport
-from repro.engine.cache import get_cache
+from repro.engine.cache import SingleFlight, get_cache
 from repro.engine.database import Database
+from repro.engine.deadline import Deadline
 from repro.engine.executor import GroupedResult, execute
 from repro.engine.expressions import Query
 from repro.engine.parallel import ExecutionOptions, resolve_options
 from repro.engine.table import Table
 from repro.engine.zonemap import PieceSkipStats, SkipReport
-from repro.errors import RuntimePhaseError, SchemaError
+from repro.errors import InternalError, RuntimePhaseError, SchemaError
 from repro.experiments.reporting import format_table
 from repro.obs.profile import QueryProfile
 from repro.obs.registry import get_registry
@@ -155,10 +156,16 @@ class AQPSession:
     log and the parse/plan memos take the session lock, and the engine
     layers underneath (execution cache, worker pool) are thread-safe.
     The lock is never held across parsing, rewriting, or execution —
-    concurrent misses on the same memo key recompute independently
-    (benign stampede, last put wins) rather than serialising the
-    session.  :meth:`install` is the exception: installing a technique
-    while queries are in flight is not supported.
+    concurrent misses on the same memo key are **single-flighted** (one
+    caller parses/plans, the concurrent duplicates wait and share the
+    result) rather than either serialising the session or stampeding N
+    identical computations.  :meth:`install` is the exception:
+    installing a technique while queries are in flight is not supported.
+
+    :meth:`close` is idempotent and may race other callers; once closed,
+    every query/ingest entry point raises a clean
+    ``InternalError("session closed")`` instead of operating on torn
+    state (the serving layer's lifecycle management relies on both).
     """
 
     def __init__(
@@ -174,18 +181,36 @@ class AQPSession:
         #: executor; ``None`` uses the process-wide defaults.
         self.options = options
         self._lock = threading.Lock()
+        self._closed = False
         self._log: list[_LogEntry] = []
         # SQL text -> parsed Query (parse is deterministic, text is frozen).
         self._parse_memo: dict[str, Query] = {}
         # Query -> (technique, plan_version, pieces): the rewrite plan for
         # structurally identical queries, revalidated per lookup.
         self._plan_memo: dict[Query, tuple[AQPTechnique, int, list]] = {}
+        # Cold parse/plan misses coalesce here instead of stampeding.
+        self._flight = SingleFlight()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def _require_open(self) -> None:
+        """Reject use after :meth:`close` with a clean error.
+
+        Without this guard a post-close ``sql()`` would die deep in the
+        engine with a raw ``AttributeError`` (or, worse, double-release
+        shared-memory arena segments on a second ``__exit__``).
+        """
+        if self._closed:
+            raise InternalError("session closed")
+
     def close(self) -> None:
-        """Release session-scoped derived state.
+        """Release session-scoped derived state (idempotent).
 
         Clears the parse/plan memos, drops every recorded provenance
         sketch, and releases every shared-memory segment of the process
@@ -197,8 +222,17 @@ class AQPSession:
         next evaluation.  The worker pools stay up (they are
         process-wide and shut down atexit, or explicitly via
         :func:`repro.engine.parallel.shutdown_default_pools`).
+
+        Safe to call more than once — including the implicit second call
+        of ``with session: ... finally session.close()`` patterns: only
+        the first caller releases anything, later calls (and concurrent
+        racers) return immediately, so arena segments can never be
+        double-released through this path.
         """
         with self._lock:
+            if self._closed:
+                return
+            self._closed = True
             self._parse_memo.clear()
             self._plan_memo.clear()
         from repro.engine.selection import get_sketch_store
@@ -211,6 +245,7 @@ class AQPSession:
             procpool.get_arena().release_all()
 
     def __enter__(self) -> "AQPSession":
+        self._require_open()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -221,6 +256,7 @@ class AQPSession:
     # ------------------------------------------------------------------
     def install(self, technique: AQPTechnique) -> PreprocessReport:
         """Pre-process ``technique`` against the database and adopt it."""
+        self._require_open()
         self.report = technique.preprocess(self.db)
         self.technique = technique
         return self.report
@@ -250,8 +286,20 @@ class AQPSession:
         the base data without a rebuild.  Memoised rewrite plans
         revalidate against the technique's plan version on the next
         lookup, so no memo clearing is needed here.
+
+        Under a star schema the technique classifies against the joined
+        view, so the batch may (must, for incremental maintenance) carry
+        the dimension attributes too; only the stored table's own
+        columns are persisted, the full batch goes to ``insert_rows``.
         """
-        merged = self.db.append_rows(name, batch, options=self.options)
+        self._require_open()
+        stored_names = self.db.table(name).column_names
+        to_store = batch
+        if set(stored_names) <= set(batch.column_names) and len(
+            batch.column_names
+        ) > len(stored_names):
+            to_store = batch.select(stored_names)
+        merged = self.db.append_rows(name, to_store, options=self.options)
         technique = self.technique
         if technique is not None:
             try:
@@ -274,6 +322,7 @@ class AQPSession:
         mode: str = "approx",
         explain: bool = False,
         profile: bool = False,
+        deadline: Deadline | None = None,
     ) -> SessionResult:
         """Run a SQL aggregation query.
 
@@ -290,7 +339,15 @@ class AQPSession:
         with it on or off (the engine treats spans as write-only — lint
         rule RL009 — and the determinism sweep test verifies it
         end to end).
+
+        ``deadline`` (a :class:`~repro.engine.deadline.Deadline`) bounds
+        the request: checkpoints after parse, before planning, at the
+        head of each piece task, and between modes raise
+        :class:`~repro.errors.DeadlineExceeded` once it expires.
+        Deadlines never change answers — a request either completes
+        byte-identically to an unbounded run or raises.
         """
+        self._require_open()
         if mode not in ("approx", "exact", "both"):
             raise RuntimePhaseError(
                 f"mode must be approx, exact, or both; got {mode!r}"
@@ -304,6 +361,8 @@ class AQPSession:
             parse_span = root.child("parse")
             with parse_span:
                 query = self._parse(text)
+            if deadline is not None:
+                deadline.check("parse")
             result = SessionResult(sql=text, query=query, explained=explain)
             if mode in ("approx", "both"):
                 technique = self.require_technique()
@@ -311,7 +370,7 @@ class AQPSession:
                 start = time.perf_counter()
                 with approx_span:
                     result.approx = self._answer_approx(
-                        technique, query, span=approx_span
+                        technique, query, span=approx_span, deadline=deadline
                     )
                 result.approx_seconds = time.perf_counter() - start
                 registry.observe(
@@ -320,6 +379,8 @@ class AQPSession:
                 if result.approx.skip_report is not None:
                     result.skip_report = result.approx.skip_report
             if mode in ("exact", "both"):
+                if deadline is not None:
+                    deadline.check("exact execution")
                 exact_options = resolve_options(self.options)
                 exact_report = SkipReport(enabled=exact_options.data_skipping)
                 exact_stats = PieceSkipStats(
@@ -384,17 +445,29 @@ class AQPSession:
         return result
 
     def _parse(self, text: str) -> Query:
-        """Parse SQL, memoising by exact text (parsing is deterministic)."""
+        """Parse SQL, memoising by exact text (parsing is deterministic).
+
+        Cold misses on the same text are single-flighted: one thread
+        parses, concurrent duplicates wait and share the memo entry
+        (counted as ``coalesced``) instead of each re-parsing.
+        """
         metrics = get_cache().metrics
         with self._lock:
             query = self._parse_memo.get(text)
-        if query is None:
-            metrics.record_miss("sql_parse")
-            query = parse_query(text)
-            with self._lock:
-                self._parse_memo[text] = query
-        else:
+        if query is not None:
             metrics.record_hit("sql_parse")
+            return query
+
+        def _parse_and_memoise() -> Query:
+            metrics.record_miss("sql_parse")
+            parsed = parse_query(text)
+            with self._lock:
+                self._parse_memo[text] = parsed
+            return parsed
+
+        query, leader = self._flight.do(("parse", text), _parse_and_memoise)
+        if not leader:
+            metrics.record_coalesced("sql_parse")
         return query
 
     def _answer_approx(
@@ -402,6 +475,7 @@ class AQPSession:
         technique: AQPTechnique,
         query: Query,
         span: Span = NULL_SPAN,
+        deadline: Deadline | None = None,
     ) -> ApproxAnswer:
         """Answer approximately, memoising the technique's rewrite plan.
 
@@ -410,6 +484,9 @@ class AQPSession:
         :class:`Query` — so structurally identical SQL skips sample
         selection and rewriting — validated against the technique's
         ``plan_version`` (bumped by preprocess and incremental inserts).
+        Cold plan misses on the same query are single-flighted: one
+        thread runs sample selection, concurrent duplicates wait and
+        share the memoised pieces.
 
         ``span`` (when profiling) gains a ``plan`` child timing sample
         selection/rewriting and a ``pieces`` child owning the per-piece
@@ -420,28 +497,49 @@ class AQPSession:
         if chooser is None or version is None:
             return technique.answer(query)
         metrics = get_cache().metrics
-        try:
+
+        def _memo_lookup():
             with self._lock:
                 entry = self._plan_memo.get(query)
-        except TypeError:  # unhashable literal somewhere in the query
-            return technique.answer(query)
-        plan_span = span.child("plan")
-        with plan_span:
             if (
                 entry is not None
                 and entry[0] is technique
                 and entry[1] == version
             ):
+                return entry[2]
+            return None
+
+        try:
+            pieces = _memo_lookup()
+        except TypeError:  # unhashable literal somewhere in the query
+            return technique.answer(query)
+        plan_span = span.child("plan")
+        with plan_span:
+            if pieces is not None:
                 metrics.record_hit("plan")
                 plan_span.annotate(memo_hit=True)
-                pieces = entry[2]
             else:
-                metrics.record_miss("plan")
+                def _plan_and_memoise():
+                    # Re-check inside the flight: a coalesced waiter that
+                    # lost the leadership race re-enters here after the
+                    # first leader already filled the memo.
+                    memoised = _memo_lookup()
+                    if memoised is not None:
+                        return memoised
+                    metrics.record_miss("plan")
+                    technique.require_preprocessed()
+                    chosen = chooser(query)
+                    with self._lock:
+                        self._plan_memo[query] = (technique, version, chosen)
+                    return chosen
+
+                pieces, leader = self._flight.do(
+                    ("plan", query, id(technique), version),
+                    _plan_and_memoise,
+                )
                 plan_span.annotate(memo_hit=False)
-                technique.require_preprocessed()
-                pieces = chooser(query)
-                with self._lock:
-                    self._plan_memo[query] = (technique, version, pieces)
+                if not leader:
+                    metrics.record_coalesced("plan")
         pieces_span = span.child("pieces")
         with pieces_span:
             return execute_pieces(
@@ -449,6 +547,7 @@ class AQPSession:
                 technique=technique.name,
                 options=self.options,
                 span=pieces_span,
+                deadline=deadline,
             )
 
     def explain(self, text: str) -> str:

@@ -21,7 +21,10 @@ layers: lint rule RL009 bans reading it back inside
 from __future__ import annotations
 
 import bisect
+import math
 import threading
+
+from repro.errors import InternalError
 
 #: Histogram bucket upper bounds (seconds-oriented log scale); the last
 #: implicit bucket is +inf.
@@ -41,6 +44,15 @@ class Histogram:
     """Fixed-bucket histogram with count/sum/min/max summaries.
 
     Mutated only while the owning registry's lock is held.
+
+    Strict-JSON by construction — the ``allow_nan=False`` contract on
+    every ``.json`` artifact is discharged *here*, not by a downstream
+    serialiser: bucket bounds must be finite (the overflow bucket is the
+    implicit ``le_inf`` — an explicit ``inf`` bound would collide with
+    it and smuggle an ``Infinity`` token into the snapshot), non-finite
+    observations are diverted to the ``non_finite`` count before they
+    can poison ``sum``/``min``/``max``, and the empty-histogram mean is
+    ``None`` rather than ``0/0``.
     """
 
     __slots__ = (
@@ -54,6 +66,15 @@ class Histogram:
     )
 
     def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS):
+        if not all(math.isfinite(b) for b in bounds):
+            raise InternalError(
+                f"histogram bucket bounds must be finite, got {bounds!r}; "
+                "the overflow bucket is the implicit le_inf"
+            )
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise InternalError(
+                f"histogram bucket bounds must increase, got {bounds!r}"
+            )
         self.bounds = bounds
         self.bucket_counts = [0] * (len(bounds) + 1)
         self.count = 0
@@ -112,13 +133,34 @@ class MetricsRegistry:
     # Write API (compute layers may call these — and only these)
     # ------------------------------------------------------------------
     def incr(self, name: str, value: float = 1) -> None:
-        """Add ``value`` to counter ``name`` (created at 0)."""
+        """Add ``value`` to counter ``name`` (created at 0).
+
+        Non-finite increments are diverted to the
+        ``obs.non_finite_writes`` counter instead of turning the counter
+        into NaN/inf — the snapshot must stay strict-JSON at the source,
+        not rely on a serialiser scrubbing it later.
+        """
         with self._lock:
+            if not math.isfinite(value):
+                self._counters["obs.non_finite_writes"] = (
+                    self._counters.get("obs.non_finite_writes", 0) + 1
+                )
+                return
             self._counters[name] = self._counters.get(name, 0) + value
 
     def set_gauge(self, name: str, value: float) -> None:
-        """Set gauge ``name`` to ``value`` (last write wins)."""
+        """Set gauge ``name`` to ``value`` (last write wins).
+
+        Non-finite values are dropped (counted under
+        ``obs.non_finite_writes``) — same strict-JSON-at-the-source
+        discipline as :meth:`incr`.
+        """
         with self._lock:
+            if not math.isfinite(value):
+                self._counters["obs.non_finite_writes"] = (
+                    self._counters.get("obs.non_finite_writes", 0) + 1
+                )
+                return
             self._gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:

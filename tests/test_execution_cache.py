@@ -261,3 +261,166 @@ class TestSessionMemos:
         db = Database([generate_flat_table("flat", 1000, seed=9, **SPEC)])
         sg.preprocess(db)
         assert sg.plan_version > version
+
+
+# ----------------------------------------------------------------------
+# Single-flight stampede control
+# ----------------------------------------------------------------------
+class TestSingleFlight:
+    def test_concurrent_misses_coalesce_to_one_computation(self):
+        import threading
+
+        from repro.engine.cache import SingleFlight
+
+        flight = SingleFlight()
+        entered = threading.Event()
+        release = threading.Event()
+        computations = []
+
+        def compute():
+            computations.append(1)
+            entered.set()
+            release.wait(5)
+            return "value"
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(flight.do("k", compute))
+            )
+            for _ in range(6)
+        ]
+        threads[0].start()
+        assert entered.wait(5)
+        for t in threads[1:]:
+            t.start()
+        release.set()
+        for t in threads:
+            t.join()
+        assert len(computations) == 1  # everyone shared one execution
+        assert {value for value, _ in results} == {"value"}
+        leaders = [leader for _, leader in results]
+        assert leaders.count(True) == 1 and leaders.count(False) == 5
+        assert flight.inflight_count() == 0  # nothing left registered
+
+    def test_leader_failure_lets_a_follower_retry(self):
+        import threading
+
+        from repro.engine.cache import SingleFlight
+
+        flight = SingleFlight()
+        entered = threading.Event()
+        release = threading.Event()
+        attempts = []
+
+        def compute():
+            attempts.append(1)
+            if len(attempts) == 1:
+                entered.set()
+                release.wait(5)
+                raise ValueError("leader died")
+            return "recovered"
+
+        outcomes = []
+
+        def run():
+            try:
+                outcomes.append(flight.do("k", compute))
+            except ValueError:
+                outcomes.append("failed")
+
+        leader = threading.Thread(target=run)
+        follower = threading.Thread(target=run)
+        leader.start()
+        assert entered.wait(5)
+        follower.start()
+        release.set()
+        leader.join()
+        follower.join()
+        # The leader's error propagated to the leader only; the waiting
+        # follower took over leadership and computed fresh.
+        assert "failed" in outcomes
+        assert ("recovered", True) in outcomes
+        assert len(attempts) == 2
+
+    def test_distinct_keys_do_not_serialise(self):
+        from repro.engine.cache import SingleFlight
+
+        flight = SingleFlight()
+        assert flight.do("a", lambda: 1) == (1, True)
+        assert flight.do("b", lambda: 2) == (2, True)
+
+    def test_cache_get_or_compute_records_coalesced(self):
+        import threading
+
+        cache = ExecutionCache()
+        anchor = Table.from_dict("t", {"x": [1, 2, 3]})
+        entered = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            entered.set()
+            release.wait(5)
+            return [1, 2, 3]
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(
+                    cache.get_or_compute("zonemap", (anchor,), compute)
+                )
+            )
+            for _ in range(4)
+        ]
+        threads[0].start()
+        assert entered.wait(5)
+        for t in threads[1:]:
+            t.start()
+        release.set()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert all(r == [1, 2, 3] for r in results)
+        # Every lookup that found nothing counts as a miss; the three
+        # that then shared the leader's computation also count as
+        # coalesced, so computations == misses - coalesced == 1.
+        assert cache.metrics.misses.get("zonemap", 0) == 4
+        assert cache.metrics.coalesced.get("zonemap", 0) == 3
+        snapshot = cache.metrics.snapshot()
+        assert snapshot["coalesced"]["zonemap"] == 3
+        assert snapshot["by_kind"]["zonemap"]["coalesced"] == 3
+
+    def test_session_parse_and_plan_coalesce(self):
+        import threading
+
+        db = Database([generate_flat_table("flat", 2000, seed=7, **SPEC)])
+        session = AQPSession(db)
+        session.install(
+            SmallGroupSampling(
+                SmallGroupConfig(base_rate=0.1, use_reservoir=False, seed=7)
+            )
+        )
+        metrics = get_cache().metrics
+        metrics.reset()
+        sql = "SELECT color, COUNT(*) AS cnt FROM flat GROUP BY color"
+        barrier = threading.Barrier(4)
+        answers = []
+
+        def run():
+            barrier.wait()
+            answers.append(answer_values(session.sql(sql).approx))
+
+        threads = [threading.Thread(target=run) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # One cold parse and one cold plan total; every concurrent
+        # duplicate either coalesced onto the in-flight computation or
+        # landed after it as a memo hit — never a second miss.
+        assert metrics.misses.get("sql_parse", 0) == 1
+        assert metrics.misses.get("plan", 0) == 1
+        assert all(a == answers[0] for a in answers[1:])
+        session.close()

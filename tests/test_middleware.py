@@ -105,3 +105,61 @@ class TestWorkloadFeedback:
         assert wq.n_group_columns == 1
         assert wq.n_predicates == 1
         assert wq.aggregate == "COUNT"
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self, tiny_tpch):
+        session = AQPSession(tiny_tpch)
+        session.close()
+        session.close()  # second close must be a no-op, not a crash
+        assert session.closed
+
+    def test_context_manager_plus_explicit_close(self, tiny_tpch):
+        # The common double-close pattern: with-block exit and a finally.
+        with AQPSession(tiny_tpch) as session:
+            session.sql(SQL_COUNT, mode="exact")
+        session.close()
+        assert session.closed
+
+    def test_post_close_sql_raises_cleanly(self, tiny_tpch):
+        from repro.errors import InternalError
+
+        session = AQPSession(tiny_tpch)
+        session.close()
+        with pytest.raises(InternalError, match="session closed"):
+            session.sql(SQL_COUNT, mode="exact")
+
+    def test_post_close_append_and_install_raise_cleanly(self, tiny_tpch):
+        from repro.engine.table import Table
+        from repro.errors import InternalError
+
+        session = AQPSession(tiny_tpch)
+        session.close()
+        with pytest.raises(InternalError, match="session closed"):
+            session.append_rows(
+                "lineitem", Table.from_dict("lineitem", {"x": [1]})
+            )
+        with pytest.raises(InternalError, match="session closed"):
+            session.install(
+                SmallGroupSampling(SmallGroupConfig(base_rate=0.05))
+            )
+        with pytest.raises(InternalError, match="session closed"):
+            with session:
+                pass
+
+    def test_close_races_are_single_release(self, tiny_tpch):
+        import threading
+
+        session = AQPSession(tiny_tpch)
+        barrier = threading.Barrier(4)
+
+        def close():
+            barrier.wait()
+            session.close()
+
+        threads = [threading.Thread(target=close) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert session.closed

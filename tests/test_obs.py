@@ -178,6 +178,60 @@ class TestMetricsRegistry:
         assert get_registry() is get_registry()
 
 
+class TestStrictJsonAtTheSource:
+    """The registry discharges ``allow_nan=False`` itself, not via the
+    serialiser: non-finite writes are diverted at the write site, and
+    malformed histogram bounds are rejected at construction."""
+
+    def test_non_finite_counter_incr_is_diverted(self):
+        reg = MetricsRegistry()
+        reg.incr("n", 3)
+        reg.incr("n", float("nan"))
+        reg.incr("n", float("inf"))
+        assert reg.counter("n") == 3  # never poisoned
+        assert reg.counter("obs.non_finite_writes") == 2
+
+    def test_non_finite_gauge_is_dropped_not_stored(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 1.5)
+        reg.set_gauge("g", float("-inf"))
+        snap = reg.snapshot()
+        assert snap["gauges"]["g"] == 1.5  # last *finite* write wins
+        assert snap["counters"]["obs.non_finite_writes"] == 1
+
+    def test_histogram_rejects_non_finite_bounds(self):
+        from repro.errors import InternalError
+
+        with pytest.raises(InternalError, match="finite"):
+            Histogram(bounds=(0.1, float("inf")))
+        with pytest.raises(InternalError, match="finite"):
+            Histogram(bounds=(float("nan"), 1.0))
+
+    def test_histogram_rejects_non_increasing_bounds(self):
+        from repro.errors import InternalError
+
+        with pytest.raises(InternalError, match="increase"):
+            Histogram(bounds=(1.0, 1.0))
+        with pytest.raises(InternalError, match="increase"):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_snapshot_needs_no_scrubbing(self):
+        """After hostile writes, the snapshot round-trips through the
+        strict serialiser without json_safe changing anything — proof
+        the fix lives at the source, not in the scrubber."""
+        reg = MetricsRegistry()
+        reg.incr("a", float("nan"))
+        reg.set_gauge("b", float("inf"))
+        reg.observe("c", float("-inf"))
+        reg.observe("c", 0.25)
+        snap = reg.snapshot()
+        assert json_safe(snap) == snap
+        json.loads(
+            json.dumps(snap, allow_nan=False),
+            parse_constant=_reject_constant,
+        )
+
+
 # ----------------------------------------------------------------------
 # Strict-JSON sanitising
 # ----------------------------------------------------------------------

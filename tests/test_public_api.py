@@ -15,6 +15,7 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.metrics",
     "repro.middleware",
+    "repro.server",
     "repro.sql",
     "repro.storage",
     "repro.workload",
